@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""How much speed does a video call need?  The broadband-policy question.
+
+The question that motivated the paper ("what level of connectivity do
+households need for common video conferencing?") is answered here by sweeping
+uplink capacities for all three VCAs and reporting utilization and freezes --
+a compressed version of Section 3 that a policy analyst could run and extend
+(e.g. to model a multi-user household by adding more calls).
+
+Run with:  python examples/broadband_planning.py
+"""
+
+from repro.core.results import format_table
+from repro.experiments.common import run_two_party_call
+from repro.core.profiles import static_profile
+
+
+def main() -> None:
+    capacities_mbps = (0.5, 1.0, 2.0, 3.0)
+    rows = []
+    for vca in ("meet", "teams", "zoom"):
+        for capacity in capacities_mbps:
+            run = run_two_party_call(
+                vca,
+                up_profile=static_profile(capacity),
+                duration_s=90.0,
+                seed=7,
+                collect_stats=True,
+            )
+            up = run.median_upstream_mbps()
+            rows.append((vca, capacity, round(up, 2), f"{up / capacity:.0%}", round(run.freeze_ratio(), 3)))
+    print(format_table(
+        "Uplink requirement sweep (2-party call, shaped uplink)",
+        ("vca", "uplink_mbps", "median_up_mbps", "utilization", "freeze_ratio"),
+        rows,
+    ))
+    print()
+    print("Reading: all three applications keep working below 1 Mbps of uplink,")
+    print("but they use most of what they are given -- two simultaneous calls on a")
+    print("3 Mbps uplink (the FCC broadband floor) leave little headroom, which is")
+    print("the paper's policy takeaway.")
+
+
+if __name__ == "__main__":
+    main()

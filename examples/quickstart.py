@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: run one emulated two-party video call and measure it.
+
+This is the smallest end-to-end use of the library: build the shaped-access
+topology the paper used, place a Google Meet call between C1 and C2, capture
+C1's traffic, and print the utilization and per-second WebRTC-style
+statistics -- the same measurements Section 3 of the paper reports.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import PacketCapture
+from repro.core.profiles import static_profile
+from repro.net import Simulator, build_access_topology
+from repro.vca import Call, CallConfig
+
+
+def main() -> None:
+    sim = Simulator(seed=1)
+    topology = build_access_topology(sim)
+    # Shape C1's uplink to 1 Mbps, leave the downlink unconstrained
+    # (one point of Figure 1a).
+    topology.shape(up_profile=static_profile(1.0))
+
+    capture = PacketCapture(sim)
+    capture.attach(topology.host("C1"))
+
+    call = Call(
+        sim,
+        participants=[topology.host("C1"), topology.host("C2")],
+        server_host=topology.host("S"),
+        config=CallConfig(vca="meet", seed=1),
+    )
+    call.start()
+    sim.run(until=120.0)
+    call.stop()
+    sim.run(until=122.0)
+
+    up = capture.aggregate("C1", "tx").median_mbps(15.0, 120.0)
+    down = capture.aggregate("C1", "rx").median_mbps(15.0, 120.0)
+    print(f"Meet call with a 1 Mbps uplink cap")
+    print(f"  median upstream   : {up:.2f} Mbps  (utilization {up / 1.0:.0%})")
+    print(f"  median downstream : {down:.2f} Mbps")
+
+    stats = call.client("C1").stats
+    print(f"  sent video        : {stats.mean('sent_width', 15, 120):.0f} px wide, "
+          f"{stats.mean('sent_fps', 15, 120):.0f} fps, QP {stats.mean('sent_qp', 15, 120):.0f}")
+    print(f"  received video    : {stats.mean('received_width', 15, 120):.0f} px wide, "
+          f"{stats.mean('received_fps', 15, 120):.0f} fps")
+    print(f"  total freezes     : {stats.last('freeze_total_s'):.1f} s")
+
+
+if __name__ == "__main__":
+    main()

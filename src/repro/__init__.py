@@ -1,0 +1,38 @@
+"""repro: an emulation-based reproduction of the IMC 2021 VCA measurement study.
+
+The package reproduces "Measuring the Performance and Network Utilization of
+Popular Video Conferencing Applications" (MacMillan, Mangla, Saxon, Feamster)
+end to end: a packet-level network emulator stands in for the paper's
+physical testbed, behavioural models stand in for the closed-source Zoom,
+Google Meet and Microsoft Teams clients, and a measurement harness
+regenerates every table and figure of the evaluation.
+
+Sub-packages
+------------
+``repro.net``
+    Discrete-event network emulation (links, queues, shaping, topologies).
+``repro.cc``
+    Congestion-control models: GCC, FEC-probing (Zoom-like), Teams-like,
+    TCP CUBIC and QUIC CUBIC.
+``repro.media``
+    Codec model, talking-head source, adaptive encoders, simulcast, SVC,
+    layouts and freeze detection.
+``repro.rtp``
+    RTP packetization, RTCP feedback, receive-side statistics, FEC and
+    signalling.
+``repro.vca``
+    The application models: clients, media servers, calls and per-VCA
+    profiles.
+``repro.apps``
+    Competing applications: iPerf3 (TCP CUBIC), Netflix-like and
+    YouTube-like streaming.
+``repro.core``
+    The measurement harness: profiles, capture, WebRTC-style statistics,
+    metrics, aggregation and experiment running.
+``repro.experiments``
+    Drivers that regenerate each table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

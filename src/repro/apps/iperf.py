@@ -1,0 +1,62 @@
+"""The iPerf3 competitor: one long-lived TCP CUBIC bulk flow.
+
+Section 5.2 competes each VCA against a 120-second iPerf3 TCP flow whose
+server sits on the same network (~2 ms RTT).  :class:`IperfFlow` wraps a
+bulk-mode :class:`~repro.apps.tcp.TcpConnection` in either direction:
+``direction="up"`` uploads from the local client (the file-upload case),
+``direction="down"`` downloads from the server (the file-download case).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.tcp import TcpConnection
+from repro.cc.tcp_cubic import CubicConfig, CubicState
+from repro.net.node import Host
+from repro.net.simulator import Simulator
+
+__all__ = ["IperfFlow"]
+
+
+class IperfFlow:
+    """A long-lived TCP CUBIC flow between a local client and a server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Host,
+        server: Host,
+        direction: str = "down",
+        flow_id: Optional[str] = None,
+        cubic_config: Optional[CubicConfig] = None,
+    ) -> None:
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        self.sim = sim
+        self.direction = direction
+        self.flow_id = flow_id or f"iperf-{client.name}-{direction}"
+        sender, receiver = (client, server) if direction == "up" else (server, client)
+        self.connection = TcpConnection(
+            sim,
+            sender=sender,
+            receiver=receiver,
+            flow_id=self.flow_id,
+            cubic=CubicState(cubic_config),
+        )
+
+    def start(self) -> None:
+        """Start the bulk transfer."""
+        self.connection.start()
+
+    def stop(self) -> None:
+        """Stop the transfer (iPerf3's -t deadline expired)."""
+        self.connection.stop()
+
+    @property
+    def bytes_acked(self) -> int:
+        """Application-level goodput so far, in bytes."""
+        return self.connection.bytes_acked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IperfFlow({self.flow_id!r}, direction={self.direction!r})"

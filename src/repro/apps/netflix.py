@@ -1,0 +1,83 @@
+"""The Netflix competitor: ABR over many parallel TCP connections.
+
+The paper observes (Figure 14) that Netflix, when starved by a competing
+Zoom call on a 0.5 Mbps link, opens many TCP connections -- 28 over a
+two-minute experiment, up to 11 in parallel -- without managing to claim a
+fair share.  :class:`NetflixPlayer` reproduces that behaviour: every chunk is
+fetched over a *fresh* set of parallel TCP connections, and the degree of
+parallelism grows as the player's throughput estimate falls behind the
+lowest ladder rung (the starvation response).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.apps.abr import AbrConfig, AbrPlayer
+from repro.apps.tcp import TcpConnection
+from repro.cc.tcp_cubic import CubicState
+from repro.net.node import Host
+from repro.net.simulator import Simulator
+
+__all__ = ["NetflixPlayer"]
+
+
+class NetflixPlayer(AbrPlayer):
+    """ABR player downloading each chunk over parallel TCP connections."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Host,
+        server: Host,
+        flow_prefix: str = "netflix",
+        config: Optional[AbrConfig] = None,
+        max_parallel_connections: int = 11,
+    ) -> None:
+        super().__init__(sim, config)
+        self.client = client
+        self.server = server
+        self.flow_prefix = flow_prefix
+        self.max_parallel_connections = max_parallel_connections
+        self._conn_ids = itertools.count(1)
+        #: Log of (time, connections open in parallel) per chunk -- Figure 14b.
+        self.connection_log: list[tuple[float, int]] = []
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------ transport
+    def _parallelism(self) -> int:
+        """How many connections to use for the next chunk.
+
+        One connection when healthy; more as the throughput estimate falls
+        below the lowest sustainable rung (the starvation response the paper
+        observes against Zoom).
+        """
+        floor = self.config.ladder_bps[0]
+        if self._throughput_estimate_bps >= floor:
+            return 1
+        starvation = floor / max(self._throughput_estimate_bps, 1.0)
+        return int(min(max(starvation, 1.0) + 1, self.max_parallel_connections))
+
+    def _download_chunk(self, chunk_bytes: int, on_complete) -> None:
+        parallelism = self._parallelism()
+        self.connection_log.append((self.sim.now, parallelism))
+        self.connections_opened += parallelism
+        share = max(chunk_bytes // parallelism, 20_000)
+        remaining = parallelism
+
+        def part_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                on_complete()
+
+        for _ in range(parallelism):
+            conn = TcpConnection(
+                self.sim,
+                sender=self.server,
+                receiver=self.client,
+                flow_id=f"{self.flow_prefix}-{next(self._conn_ids)}",
+                cubic=CubicState(),
+            )
+            conn.start(transfer_bytes=share, on_complete=part_done)

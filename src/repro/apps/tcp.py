@@ -1,0 +1,216 @@
+"""Window-based reliable transport over the emulated network.
+
+:class:`TcpConnection` is the packet-level machinery shared by the iPerf3
+bulk flow and the streaming players: an ACK-clocked sender whose congestion
+window is managed by a :class:`~repro.cc.tcp_cubic.CubicState` (or the QUIC
+variant), with duplicate-ACK loss detection and a retransmission-timeout
+fallback.  It supports two modes:
+
+* **bulk** -- send for as long as the connection is running (iPerf3), and
+* **bounded transfer** -- send exactly N bytes and report completion
+  (one ABR video chunk).
+
+The implementation deliberately omits everything that does not affect
+bandwidth sharing (handshakes, byte-accurate reassembly, flow control): the
+paper's competition experiments only depend on how the congestion window
+reacts to loss and queueing on the shared bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cc.tcp_cubic import CubicState
+from repro.net.node import Host
+from repro.net.packet import TCP_IP_HEADER_BYTES, Packet, PacketKind
+from repro.net.simulator import Simulator
+
+__all__ = ["TcpConnection"]
+
+#: Payload bytes per segment (standard Ethernet MSS).
+SEGMENT_BYTES = 1448
+
+#: Size of a pure ACK on the wire.
+ACK_BYTES = TCP_IP_HEADER_BYTES + 12
+
+#: Retransmission timeout (conservative, fixed; fine for throughput dynamics).
+RTO_S = 1.0
+
+
+class TcpConnection:
+    """One reliable, congestion-controlled connection between two hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: Host,
+        receiver: Host,
+        flow_id: str,
+        cubic: Optional[CubicState] = None,
+        data_kind: PacketKind = PacketKind.TCP_DATA,
+        ack_kind: PacketKind = PacketKind.TCP_ACK,
+        segment_bytes: int = SEGMENT_BYTES,
+    ) -> None:
+        self.sim = sim
+        self.sender = sender
+        self.receiver = receiver
+        self.flow_id = flow_id
+        self.ack_flow_id = f"{flow_id}:ack"
+        self.cubic = cubic or CubicState()
+        self.data_kind = data_kind
+        self.ack_kind = ack_kind
+        self.segment_bytes = segment_bytes
+
+        self._running = False
+        self._next_seq = 1
+        self._unacked: dict[int, float] = {}
+        self._highest_acked = 0
+        self._bytes_limit: Optional[int] = None
+        self._bytes_queued = 0
+        self._on_complete: Optional[Callable[[], None]] = None
+        self._last_ack_at = 0.0
+        self._last_loss_event_at = -1.0
+        self._rtt_s = 0.05
+        self._timeout_event = None
+
+        #: Lifetime counters.
+        self.bytes_acked = 0
+        self.segments_sent = 0
+        self.retransmissions = 0
+
+        receiver.register_flow(flow_id, self._on_data)
+        sender.register_flow(self.ack_flow_id, self._on_ack)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, transfer_bytes: Optional[int] = None, on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Start sending: bulk mode if ``transfer_bytes`` is None."""
+        self._running = True
+        self._bytes_limit = transfer_bytes
+        self._bytes_queued = 0
+        self._on_complete = on_complete
+        self._last_ack_at = self.sim.now
+        self._try_send()
+        self._arm_timeout()
+
+    def stop(self) -> None:
+        """Stop sending (remaining in-flight data is abandoned)."""
+        self._running = False
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    @property
+    def smoothed_rtt_s(self) -> float:
+        return self._rtt_s
+
+    # ------------------------------------------------------------ send path
+    def _try_send(self) -> None:
+        if not self._running:
+            return
+        while len(self._unacked) < int(self.cubic.cwnd):
+            if self._bytes_limit is not None and self._bytes_queued >= self._bytes_limit:
+                break
+            seq = self._next_seq
+            self._next_seq += 1
+            payload = self.segment_bytes
+            if self._bytes_limit is not None:
+                payload = min(payload, self._bytes_limit - self._bytes_queued)
+                if payload <= 0:
+                    break
+            self._bytes_queued += payload
+            self._unacked[seq] = self.sim.now
+            self.segments_sent += 1
+            packet = Packet(
+                size_bytes=payload + TCP_IP_HEADER_BYTES,
+                flow_id=self.flow_id,
+                src=self.sender.name,
+                dst=self.receiver.name,
+                kind=self.data_kind,
+                seq=seq,
+                created_at=self.sim.now,
+                meta={"payload": payload},
+            )
+            self.sender.send(packet)
+
+    def _on_data(self, packet: Packet) -> None:
+        # Receiver side: acknowledge every arriving segment individually
+        # (an SACK-like model: the ACK names the exact segment received).
+        ack = Packet(
+            size_bytes=ACK_BYTES,
+            flow_id=self.ack_flow_id,
+            src=self.receiver.name,
+            dst=self.sender.name,
+            kind=self.ack_kind,
+            seq=packet.seq,
+            created_at=self.sim.now,
+            meta={"acked_payload": packet.meta.get("payload", self.segment_bytes)},
+        )
+        self.receiver.send(ack)
+
+    # ------------------------------------------------------------- ack path
+    def _on_ack(self, packet: Packet) -> None:
+        if not self._running and not self._unacked:
+            return
+        now = self.sim.now
+        seq = packet.seq
+        sent_at = self._unacked.pop(seq, None)
+        self._last_ack_at = now
+        if sent_at is not None:
+            sample = max(now - sent_at, 1e-4)
+            self._rtt_s = 0.875 * self._rtt_s + 0.125 * sample
+            self.bytes_acked += packet.meta.get("acked_payload", self.segment_bytes)
+            self.cubic.on_ack(now, self._rtt_s)
+        self._highest_acked = max(self._highest_acked, seq)
+        self._detect_losses(now)
+        if (
+            self._bytes_limit is not None
+            and self._bytes_queued >= self._bytes_limit
+            and not self._unacked
+        ):
+            self._running = False
+            if self._on_complete is not None:
+                callback, self._on_complete = self._on_complete, None
+                callback()
+            return
+        self._try_send()
+
+    def _detect_losses(self, now: float) -> None:
+        """Triple-duplicate-ACK analogue: segments 3+ behind the highest ACK are lost."""
+        lost = [seq for seq in self._unacked if seq <= self._highest_acked - 3]
+        if not lost:
+            return
+        # At most one multiplicative decrease per round-trip.
+        if now - self._last_loss_event_at > self._rtt_s:
+            self._last_loss_event_at = now
+            self.cubic.on_loss(now)
+        for seq in lost:
+            del self._unacked[seq]
+            self.retransmissions += 1
+            if self._bytes_limit is not None:
+                # The lost payload still has to be delivered.
+                self._bytes_queued -= self.segment_bytes
+                self._bytes_queued = max(self._bytes_queued, 0)
+
+    # -------------------------------------------------------------- timeout
+    def _arm_timeout(self) -> None:
+        if not self._running:
+            return
+        self.sim.schedule(RTO_S / 2, self._check_timeout)
+
+    def _check_timeout(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        if self._unacked and now - self._last_ack_at > RTO_S:
+            self.cubic.on_timeout()
+            self.retransmissions += len(self._unacked)
+            if self._bytes_limit is not None:
+                self._bytes_queued = max(
+                    self._bytes_queued - len(self._unacked) * self.segment_bytes, 0
+                )
+            self._unacked.clear()
+            self._last_ack_at = now
+            self._try_send()
+        self._arm_timeout()

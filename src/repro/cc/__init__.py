@@ -1,0 +1,43 @@
+"""Congestion-control substrate.
+
+The paper attributes most of the differences it measures between Zoom, Meet
+and Teams to their *proprietary congestion control*.  This package provides
+behavioural models of each family of algorithms, plus the transport-level
+controllers used by the competing applications:
+
+* :class:`~repro.cc.gcc.GCCController` -- Google Congestion Control
+  (delay-gradient plus loss), the algorithm WebRTC implements and that Meet
+  and the browser-based Teams client use.
+* :class:`~repro.cc.fbra.FBRAController` -- FEC-probing rate adaptation in
+  the style of Nagy et al., which the paper conjectures explains Zoom's
+  redundant-data probing and aggressive link sharing.
+* :class:`~repro.cc.teams.TeamsController` -- the conservative, slowly
+  ramping controller that reproduces Teams' measured recovery and
+  link-sharing behaviour.
+* :class:`~repro.cc.tcp_cubic.CubicState` -- TCP CUBIC window dynamics used
+  by the iPerf3 and Netflix competitor models.
+* :class:`~repro.cc.quic_cc.QuicCubicState` -- the QUIC variant used by the
+  YouTube competitor model.
+"""
+
+from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
+from repro.cc.fbra import FBRAConfig, FBRAController
+from repro.cc.gcc import GCCConfig, GCCController
+from repro.cc.quic_cc import QuicCubicState
+from repro.cc.tcp_cubic import CubicConfig, CubicState
+from repro.cc.teams import TeamsCCConfig, TeamsController
+
+__all__ = [
+    "FeedbackReport",
+    "RateController",
+    "RateControllerConfig",
+    "GCCController",
+    "GCCConfig",
+    "FBRAController",
+    "FBRAConfig",
+    "TeamsController",
+    "TeamsCCConfig",
+    "CubicState",
+    "CubicConfig",
+    "QuicCubicState",
+]

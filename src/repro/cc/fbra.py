@@ -1,0 +1,184 @@
+"""FEC-probing rate adaptation: the Zoom-like controller.
+
+The paper observes three distinctive Zoom behaviours and conjectures (via the
+FBRA design of Nagy et al., reference [20], and a Zoom patent on server-side
+FEC) that all three stem from redundancy-based congestion control:
+
+1. after a disruption Zoom ramps in *steps*, probing periodically and
+   overshooting its nominal rate for up to two minutes before settling
+   (Figure 4a),
+2. Zoom's sending rate tracks the available capacity closely during
+   disruptions (Section 4.2 takeaway), and
+3. Zoom is highly aggressive under competition, taking at least 75 % of a
+   constrained link even against another Zoom call (Figures 8, 9a, 12, 13).
+
+:class:`FBRAController` reproduces this mechanism: it periodically adds FEC
+overhead on top of the media rate as a probe; if the probe does not increase
+queueing delay or loss beyond (generous) thresholds, the media rate is raised
+to absorb the probe.  Because the controller only backs off under heavy loss
+or very large delay (its FEC lets it ride out moderate loss), it fills
+drop-tail queues and crowds out loss- and delay-sensitive competitors --
+exactly the measured behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
+
+__all__ = ["FBRAConfig", "FBRAController"]
+
+
+@dataclass
+class FBRAConfig(RateControllerConfig):
+    """Tunable constants of the FEC-probing controller."""
+
+    #: Seconds between consecutive probe episodes.
+    probe_interval_s: float = 4.0
+    #: Duration of one probe episode (FEC overhead switched on).
+    probe_duration_s: float = 2.0
+    #: FEC overhead added during a probe, as a fraction of the media rate.
+    probe_fec_ratio: float = 0.25
+    #: Fraction of the probed headroom absorbed into the media rate after a
+    #: successful probe.
+    probe_absorb_factor: float = 0.9
+    #: Loss fraction the controller tolerates before reacting (FEC recovers
+    #: moderate loss, hence the high threshold).
+    loss_tolerance: float = 0.18
+    #: Queueing delay the controller tolerates before reacting.
+    delay_tolerance_s: float = 0.15
+    #: Backoff applied to the receive rate when the tolerance is exceeded.
+    backoff_factor: float = 0.9
+    #: How far above the nominal rate probing may push the media rate after a
+    #: recovery (the paper observes Zoom overshooting its steady state).
+    overshoot_factor: float = 1.5
+    #: Once at/above nominal, how long the controller keeps probing above the
+    #: nominal rate before decaying back to it (the paper reports roughly two
+    #: minutes of elevated sending after a disruption).
+    overshoot_hold_s: float = 90.0
+    #: Decay rate (per second) applied when returning from overshoot.
+    overshoot_decay_per_s: float = 0.02
+
+
+class FBRAController(RateController):
+    """Stepwise, FEC-probing media-rate controller (Zoom-like)."""
+
+    def __init__(self, config: FBRAConfig | None = None) -> None:
+        cfg = config or FBRAConfig()
+        super().__init__(cfg)
+        self.config: FBRAConfig = cfg
+        self._probe_active = False
+        self._next_probe_at = cfg.probe_interval_s
+        self._probe_ends_at = 0.0
+        self._probe_clean = True
+        self._overshoot_started_at: float | None = None
+        #: True while recovering from a congestion-induced backoff; only in
+        #: this mode may probing push the rate above the nominal maximum
+        #: (the post-disruption overshoot the paper measures).
+        self._recovery_mode = False
+        #: Set to False to disable probing entirely (ablation hook).
+        self.probing_enabled = True
+
+    # ----------------------------------------------------------------- API
+    def on_feedback(self, report: FeedbackReport, now: float) -> float:
+        cfg = self.config
+        congested = (
+            report.loss_fraction > cfg.loss_tolerance
+            or report.queueing_delay_s > cfg.delay_tolerance_s
+        )
+
+        if congested:
+            # FEC could not mask the congestion: track the delivered rate.
+            self._probe_clean = False
+            base = report.receive_rate_bps if report.receive_rate_bps > 0 else self._target_bps
+            self._target_bps = self._clamp(cfg.backoff_factor * base)
+            self._probe_active = False
+            self._next_probe_at = now + cfg.probe_interval_s
+            self._overshoot_started_at = None
+            if self._target_bps < 0.7 * self.config.max_bitrate_bps:
+                # A genuine constraint pushed us well below nominal: the
+                # subsequent recovery is allowed to overshoot while probing.
+                self._recovery_mode = True
+            return self._target_bps
+
+        if not self.probing_enabled:
+            # Without probing the controller only creeps upward and never
+            # overshoots its nominal rate (ablation: Zoom loses both its
+            # post-disruption burstiness and its aggressiveness).
+            self._target_bps = min(self._target_bps * 1.01, self.config.max_bitrate_bps)
+            self._target_bps = max(self._target_bps, self.config.min_bitrate_bps)
+            return self._target_bps
+
+        if self._probe_active:
+            if now >= self._probe_ends_at:
+                self._probe_active = False
+                self._next_probe_at = now + cfg.probe_interval_s
+                if self._probe_clean:
+                    # Absorb the successfully probed redundancy into media.
+                    step = self._target_bps * cfg.probe_fec_ratio * cfg.probe_absorb_factor
+                    ceiling = self._overshoot_ceiling()
+                    self._target_bps = min(self._target_bps + step, ceiling)
+                    if self._target_bps >= self.config.max_bitrate_bps:
+                        if self._overshoot_started_at is None:
+                            self._overshoot_started_at = now
+        else:
+            if now >= self._next_probe_at and self._target_bps < self._overshoot_ceiling():
+                self._probe_active = True
+                self._probe_clean = True
+                self._probe_ends_at = now + cfg.probe_duration_s
+
+        # Decay back toward nominal once the overshoot phase has lasted long
+        # enough (the 'settling' the paper sees ~2 minutes after recovery).
+        if (
+            self._overshoot_started_at is not None
+            and now - self._overshoot_started_at > cfg.overshoot_hold_s
+            and self._target_bps > self.config.max_bitrate_bps
+        ):
+            self._target_bps = max(
+                self.config.max_bitrate_bps,
+                self._target_bps * (1.0 - cfg.overshoot_decay_per_s * report.interval_s),
+            )
+            if self._target_bps <= self.config.max_bitrate_bps * 1.01:
+                # Settled back to nominal: the recovery episode is over.
+                self._recovery_mode = False
+                self._overshoot_started_at = None
+
+        self._target_bps = max(self._target_bps, self.config.min_bitrate_bps)
+        return self._target_bps
+
+    def fec_overhead_ratio(self, now: float) -> float:
+        """Extra FEC traffic (fraction of media rate) currently being sent.
+
+        Two components: the short probe bursts, and -- while the controller's
+        target exceeds the encoder's nominal rate during a post-disruption
+        recovery -- sustained redundancy that realises the overshoot on the
+        wire (the paper observes Zoom sending well above its steady-state
+        rate for up to two minutes after a disruption, Figure 4a).
+        """
+        if not self.probing_enabled:
+            return 0.0
+        ratio = 0.0
+        if self._probe_active:
+            ratio += self.config.probe_fec_ratio
+        if self._target_bps > self.config.max_bitrate_bps:
+            ratio += self._target_bps / self.config.max_bitrate_bps - 1.0
+        return ratio
+
+    # ------------------------------------------------------------- helpers
+    def _overshoot_ceiling(self) -> float:
+        """Highest rate probing may reach.
+
+        In steady state the ceiling is the nominal maximum; while recovering
+        from a congestion episode probing may overshoot it by
+        ``overshoot_factor`` (Figure 4a of the paper).
+        """
+        if self._recovery_mode:
+            return self.config.max_bitrate_bps * self.config.overshoot_factor
+        return self.config.max_bitrate_bps
+
+    def _clamp(self, value: float) -> float:
+        # Unlike the base class, FBRA may temporarily exceed the nominal
+        # maximum while probing (the overshoot the paper measures), so only
+        # the overshoot ceiling bounds it from above.
+        return min(max(value, self.config.min_bitrate_bps), self._overshoot_ceiling())

@@ -1,0 +1,148 @@
+"""Google Congestion Control (GCC) behavioural model.
+
+GCC (Carlucci et al., reference [8] of the paper) combines a delay-based
+estimator -- an over-use detector driven by the one-way delay gradient -- with
+a loss-based estimator; the sender uses the minimum of the two.  Meet and the
+browser-based Teams client run on top of WebRTC and therefore inherit this
+controller, which is why the paper observes:
+
+* efficient (>85 %) uplink utilization under static constraints,
+* multiplicative-increase recovery taking tens of seconds after severe drops,
+* delay-sensitivity that makes the flows back off when a queue-filling
+  competitor (Zoom, or a TCP bulk flow on the downlink) shares the link.
+
+The implementation follows the published AIMD structure with the constants
+exposed in :class:`GCCConfig` so the Teams-Chrome variant (more conservative
+ramping, higher start rate variance) can reuse the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
+
+__all__ = ["GCCConfig", "GCCController"]
+
+
+@dataclass
+class GCCConfig(RateControllerConfig):
+    """Tunable constants of the GCC model."""
+
+    #: Queueing delay above which the over-use detector triggers.
+    overuse_threshold_s: float = 0.030
+    #: Delay-gradient threshold (growth per feedback interval) that also
+    #: counts as over-use even before the absolute threshold is crossed.
+    gradient_threshold_s: float = 0.010
+    #: Multiplicative backoff applied to the *receive* rate on over-use.
+    backoff_factor: float = 0.85
+    #: Multiplicative increase per second in the absence of congestion.
+    increase_factor_per_s: float = 1.08
+    #: Additive increase floor (bps per second) used close to convergence.
+    additive_increase_bps_per_s: float = 50_000.0
+    #: Loss fraction above which the loss-based estimator backs off.
+    loss_backoff_threshold: float = 0.10
+    #: Loss fraction below which the loss-based estimator may increase.
+    loss_increase_threshold: float = 0.02
+    #: Hold time after an over-use backoff before increasing again.
+    hold_time_s: float = 1.0
+    #: Whether the delay-based estimate is capped at a multiple of the
+    #: measured receive rate (standard GCC behaviour).
+    cap_to_receive_rate: bool = True
+    #: The multiple used for the receive-rate cap.  1.5 is GCC's value for
+    #: senders; server-side per-receiver estimators use a larger multiple to
+    #: stand in for the bandwidth probing an SFU performs when it is
+    #: application-limited.
+    receive_rate_cap_multiplier: float = 1.5
+    #: Lower bound on the receive-rate cap; ``None`` uses the start bitrate.
+    #: This models WebRTC's ALR probing at the sender: even when the encoder
+    #: is sending very little, the estimate may recover at least this far.
+    receive_rate_cap_floor_bps: float | None = None
+
+
+class GCCController(RateController):
+    """Delay-gradient + loss based rate controller (WebRTC's GCC)."""
+
+    def __init__(self, config: GCCConfig | None = None) -> None:
+        cfg = config or GCCConfig()
+        super().__init__(cfg)
+        self.config: GCCConfig = cfg
+        self._loss_estimate_bps = float(cfg.start_bitrate_bps)
+        self._delay_estimate_bps = float(cfg.start_bitrate_bps)
+        self._last_update: float | None = None
+        self._hold_until = 0.0
+        self.state = "increase"
+
+    # ----------------------------------------------------------------- API
+    def on_feedback(self, report: FeedbackReport, now: float) -> float:
+        cfg = self.config
+        interval = report.interval_s if report.interval_s > 0 else 0.25
+        if self._last_update is None:
+            self._last_update = now
+
+        overusing = (
+            report.queueing_delay_s > cfg.overuse_threshold_s
+            or report.delay_gradient_s > cfg.gradient_threshold_s
+        )
+        # Only treat over-use as *our* congestion when the flow is actually
+        # using a substantial fraction of its own estimate; otherwise (for
+        # example right after an SFU switched down to a cheap simulcast copy
+        # while the queue from the previous copy is still draining) hold the
+        # estimate instead of collapsing it to a fraction of a tiny receive
+        # rate.  Real GCC achieves the same through its incoming-rate window.
+        near_capacity = report.receive_rate_bps >= 0.5 * self._delay_estimate_bps
+
+        # ---------------------------------------------- delay-based estimate
+        if overusing and near_capacity:
+            self.state = "decrease"
+            self._delay_estimate_bps = max(
+                cfg.min_bitrate_bps, cfg.backoff_factor * report.receive_rate_bps
+            )
+            self._hold_until = now + cfg.hold_time_s
+        elif overusing or now < self._hold_until:
+            self.state = "hold"
+        else:
+            self.state = "increase"
+            growth = cfg.increase_factor_per_s ** interval
+            additive = cfg.additive_increase_bps_per_s * interval
+            self._delay_estimate_bps = max(
+                self._delay_estimate_bps * growth,
+                self._delay_estimate_bps + additive,
+            )
+        # Never let the delay estimate run away from what is actually being
+        # delivered: GCC caps its estimate at a multiple of the measured
+        # receive rate.  The cap is floored (by default at the start bitrate):
+        # when the application is rate-limited (e.g. a simulcast sender that
+        # switched off its top copy) WebRTC's ALR probing would otherwise be
+        # needed to escape the low-rate fixed point, and the floor plays that
+        # role here.
+        # (Reports covering essentially no traffic -- e.g. while the remote
+        # side is still joining -- carry no information and are not allowed
+        # to collapse the estimate.)
+        if cfg.cap_to_receive_rate and report.receive_rate_bps > 120_000.0:
+            floor = (
+                cfg.receive_rate_cap_floor_bps
+                if cfg.receive_rate_cap_floor_bps is not None
+                else cfg.start_bitrate_bps
+            )
+            ceiling = max(cfg.receive_rate_cap_multiplier * report.receive_rate_bps, floor)
+            self._delay_estimate_bps = min(self._delay_estimate_bps, ceiling)
+        self._delay_estimate_bps = self._clamp(self._delay_estimate_bps)
+
+        # ----------------------------------------------- loss-based estimate
+        loss = report.loss_fraction
+        if loss > cfg.loss_backoff_threshold:
+            self._loss_estimate_bps *= 1.0 - 0.3 * loss
+        elif loss < cfg.loss_increase_threshold:
+            self._loss_estimate_bps *= 1.08 ** interval
+        self._loss_estimate_bps = self._clamp(self._loss_estimate_bps)
+
+        self._target_bps = self._clamp(
+            min(self._delay_estimate_bps, self._loss_estimate_bps)
+        )
+        self._last_update = now
+        return self._target_bps
+
+    def available_bandwidth_estimate(self) -> float:
+        """The delay-based estimate (what an SFU uses to pick simulcast copies)."""
+        return self._delay_estimate_bps

@@ -1,0 +1,40 @@
+"""QUIC congestion control used by the YouTube competitor model.
+
+YouTube delivers video over QUIC (Section 5.3 of the paper).  QUIC's default
+congestion controller is CUBIC/NewReno-like (RFC 9002 describes NewReno; the
+Chromium implementation the paper's YouTube traffic would have used runs
+CUBIC), so :class:`QuicCubicState` reuses the TCP CUBIC window machinery with
+two QUIC-specific differences that matter for fairness experiments:
+
+* a larger initial window (QUIC commonly starts at 32 packets), and
+* slightly less aggressive multiplicative decrease when configured in its
+  "TCP-friendly" mode, matching the observation of Corbel et al. (reference
+  [9] of the paper) that QUIC's fairness depends on configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.tcp_cubic import CubicConfig, CubicState
+
+__all__ = ["QuicCubicState"]
+
+
+@dataclass
+class _QuicDefaults:
+    initial_cwnd_segments: float = 32.0
+    beta: float = 0.7
+
+
+class QuicCubicState(CubicState):
+    """CUBIC window dynamics with QUIC's default parameters."""
+
+    def __init__(self, config: CubicConfig | None = None) -> None:
+        if config is None:
+            defaults = _QuicDefaults()
+            config = CubicConfig(
+                initial_cwnd_segments=defaults.initial_cwnd_segments,
+                beta=defaults.beta,
+            )
+        super().__init__(config)

@@ -1,0 +1,99 @@
+"""TCP CUBIC window dynamics.
+
+The paper's competing-traffic experiments (Section 5) use an iPerf3 TCP flow
+whose server runs TCP CUBIC, and Netflix traffic which is delivered over
+(many) TCP CUBIC connections.  :class:`CubicState` implements the standard
+CUBIC window evolution (RFC 8312): slow start, the cubic growth function
+after a loss event, and multiplicative decrease with ``beta = 0.7``.
+
+The class is a pure window calculator -- it knows nothing about packets.  The
+actual segment transmission, ACK clocking and loss detection live in
+:mod:`repro.apps.tcp`, which drives a :class:`CubicState` per connection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CubicConfig", "CubicState"]
+
+
+@dataclass
+class CubicConfig:
+    """CUBIC constants (RFC 8312 defaults)."""
+
+    #: Cubic scaling constant C.
+    c: float = 0.4
+    #: Multiplicative decrease factor beta.
+    beta: float = 0.7
+    #: Initial congestion window, in segments.
+    initial_cwnd_segments: float = 10.0
+    #: Initial slow-start threshold, in segments.
+    initial_ssthresh_segments: float = 64.0
+    #: Lower bound on the congestion window.
+    min_cwnd_segments: float = 2.0
+    #: Upper bound on the congestion window (receiver window / sanity cap).
+    max_cwnd_segments: float = 2_000.0
+
+
+class CubicState:
+    """Congestion-window state machine for one TCP CUBIC connection."""
+
+    def __init__(self, config: CubicConfig | None = None) -> None:
+        self.config = config or CubicConfig()
+        self.cwnd = float(self.config.initial_cwnd_segments)
+        self.ssthresh = float(self.config.initial_ssthresh_segments)
+        self._w_max = self.cwnd
+        self._epoch_start: float | None = None
+        self._k = 0.0
+        self.loss_events = 0
+        self.acks_processed = 0
+
+    # ----------------------------------------------------------------- API
+    @property
+    def in_slow_start(self) -> bool:
+        """True while the window is below the slow-start threshold."""
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, now: float, rtt_s: float, acked_segments: float = 1.0) -> float:
+        """Grow the window for ``acked_segments`` newly acknowledged segments."""
+        cfg = self.config
+        self.acks_processed += 1
+        if self.in_slow_start:
+            self.cwnd += acked_segments
+        else:
+            if self._epoch_start is None:
+                self._epoch_start = now
+                self._w_max = max(self._w_max, self.cwnd)
+                self._k = math.cbrt(self._w_max * (1.0 - cfg.beta) / cfg.c)
+            t = now - self._epoch_start + rtt_s
+            w_cubic = cfg.c * (t - self._k) ** 3 + self._w_max
+            if w_cubic > self.cwnd:
+                # Congestion-avoidance growth toward the cubic target.
+                self.cwnd += max(w_cubic - self.cwnd, 0.0) / max(self.cwnd, 1.0) * acked_segments
+            else:
+                # TCP-friendly region: at least Reno-like growth.
+                self.cwnd += acked_segments / max(self.cwnd, 1.0)
+        self.cwnd = min(self.cwnd, cfg.max_cwnd_segments)
+        return self.cwnd
+
+    def on_loss(self, now: float) -> float:
+        """Apply multiplicative decrease after a loss event."""
+        cfg = self.config
+        self.loss_events += 1
+        self._w_max = self.cwnd
+        self.cwnd = max(cfg.min_cwnd_segments, self.cwnd * cfg.beta)
+        self.ssthresh = max(self.cwnd, cfg.min_cwnd_segments)
+        self._epoch_start = None
+        return self.cwnd
+
+    def on_timeout(self) -> float:
+        """Collapse the window after a retransmission timeout."""
+        cfg = self.config
+        self.loss_events += 1
+        self._w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * cfg.beta, cfg.min_cwnd_segments)
+        self.cwnd = cfg.min_cwnd_segments
+        self._epoch_start = None
+        return self.cwnd

@@ -1,0 +1,96 @@
+"""The conservative controller used by the Microsoft Teams native client.
+
+Teams' congestion control is proprietary; the paper characterises it only
+through its externally visible behaviour:
+
+* a high nominal rate (1.4 Mbps upstream / up to 1.9 Mbps downstream,
+  Table 2) with large run-to-run variability,
+* a *slow-then-fast* recovery after disruptions -- the bitrate creeps up for
+  several seconds before ramping back to nominal (Figure 4a), making Teams
+  the slowest to recover from downlink disruptions at every severity
+  (Figure 5b),
+* strong passivity under competition: Teams backs off to other VCAs on the
+  downlink (Figure 10b) and to TCP in both directions, achieving only ~37 %
+  of a 2 Mbps uplink and ~20 % of the downlink against iPerf3 (Figure 12).
+
+:class:`TeamsController` reproduces these traits with a delay- and
+loss-sensitive AIMD whose increase is linear (and deliberately small) for a
+"cautious window" after every backoff and multiplicative afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
+
+__all__ = ["TeamsCCConfig", "TeamsController"]
+
+
+@dataclass
+class TeamsCCConfig(RateControllerConfig):
+    """Tunable constants of the Teams-style controller."""
+
+    #: Queueing delay above which the controller backs off.  Teams is very
+    #: delay-sensitive, which is what makes it passive against queue-filling
+    #: competitors (TCP, Zoom).
+    delay_backoff_threshold_s: float = 0.040
+    #: Loss fraction above which the controller backs off.
+    loss_backoff_threshold: float = 0.02
+    #: Multiplicative decrease applied on congestion.
+    backoff_factor: float = 0.7
+    #: Length of the cautious (linear, slow) ramping phase after a backoff.
+    cautious_duration_s: float = 10.0
+    #: Linear ramp rate during the cautious phase, bits per second per second.
+    cautious_ramp_bps_per_s: float = 40_000.0
+    #: Multiplicative increase per second once the cautious phase has passed.
+    fast_increase_factor_per_s: float = 1.20
+    #: Minimum spacing between consecutive backoffs.
+    backoff_hold_s: float = 2.0
+
+
+class TeamsController(RateController):
+    """Slow-then-fast AIMD controller reproducing Teams' measured behaviour."""
+
+    def __init__(self, config: TeamsCCConfig | None = None) -> None:
+        cfg = config or TeamsCCConfig()
+        super().__init__(cfg)
+        self.config: TeamsCCConfig = cfg
+        self._cautious_until = 0.0
+        self._last_backoff_at = -1e9
+        self.state = "steady"
+
+    def on_feedback(self, report: FeedbackReport, now: float) -> float:
+        cfg = self.config
+        interval = report.interval_s if report.interval_s > 0 else 0.25
+        congested = (
+            report.queueing_delay_s > cfg.delay_backoff_threshold_s
+            or report.loss_fraction > cfg.loss_backoff_threshold
+        )
+
+        if congested and now - self._last_backoff_at >= cfg.backoff_hold_s:
+            self.state = "backoff"
+            base = min(self._target_bps, report.receive_rate_bps or self._target_bps)
+            self._target_bps = self._clamp(cfg.backoff_factor * base)
+            self._cautious_until = now + cfg.cautious_duration_s
+            self._last_backoff_at = now
+            return self._target_bps
+
+        if congested:
+            # Within the hold period: keep the current (already reduced) rate.
+            self.state = "hold"
+            return self._target_bps
+
+        if now < self._cautious_until:
+            # Slow linear creep immediately after a congestion episode; this
+            # is the flat shoulder visible in Figure 4a for Teams.
+            self.state = "cautious"
+            self._target_bps = self._clamp(
+                self._target_bps + cfg.cautious_ramp_bps_per_s * interval
+            )
+        else:
+            self.state = "ramp"
+            self._target_bps = self._clamp(
+                self._target_bps * (cfg.fast_increase_factor_per_s ** interval)
+            )
+        return self._target_bps

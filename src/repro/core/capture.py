@@ -1,0 +1,141 @@
+"""Passive packet capture and per-flow bitrate time series.
+
+The paper's primary data source is traffic captured at the clients (the
+emulated ``tcpdump``).  :class:`PacketCapture` attaches to a
+:class:`~repro.net.node.Host` as a tap and bins transmitted / received bytes
+per flow into fixed-width intervals; :class:`FlowSeries` then exposes the
+bitrate time series and summary statistics every experiment in the paper is
+computed from (median bitrate, average utilization, time-resolved traces for
+the disruption and competition figures).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.net.node import Host
+from repro.net.packet import Packet, PacketKind
+from repro.net.simulator import Simulator
+
+__all__ = ["PacketCapture", "FlowSeries"]
+
+
+@dataclass
+class FlowSeries:
+    """Binned byte counts for one (flow, direction) pair."""
+
+    flow_id: str
+    direction: str
+    bin_width_s: float
+    bins: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def add(self, time_s: float, size_bytes: int) -> None:
+        self.bins[int(time_s / self.bin_width_s)] += size_bytes
+
+    def timeseries(self, start: float = 0.0, end: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return (bin start times, bitrate in Mbps) over ``[start, end]``."""
+        if not self.bins:
+            return np.array([]), np.array([])
+        last_bin = max(self.bins)
+        end_bin = last_bin if end is None else int(end / self.bin_width_s)
+        start_bin = int(start / self.bin_width_s)
+        indices = np.arange(start_bin, end_bin + 1)
+        times = indices * self.bin_width_s
+        mbps = np.array(
+            [self.bins.get(int(i), 0) * 8 / self.bin_width_s / 1e6 for i in indices]
+        )
+        return times, mbps
+
+    def total_bytes(self, start: float = 0.0, end: float = float("inf")) -> int:
+        return sum(
+            size
+            for index, size in self.bins.items()
+            if start <= index * self.bin_width_s < end
+        )
+
+    def mean_mbps(self, start: float, end: float) -> float:
+        """Average bitrate over a window (Mbps)."""
+        duration = max(end - start, self.bin_width_s)
+        return self.total_bytes(start, end) * 8 / duration / 1e6
+
+    def median_mbps(self, start: float, end: float) -> float:
+        """Median of the per-bin bitrates over a window (Mbps)."""
+        _, series = self.timeseries(start, end)
+        if series.size == 0:
+            return 0.0
+        return float(np.median(series))
+
+
+class PacketCapture:
+    """Taps one or more hosts and maintains per-flow bitrate series.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (used only for timestamps).
+    bin_width_s:
+        Width of the aggregation bins; one second matches the paper's plots.
+    kinds:
+        Restrict capture to specific packet kinds (default: everything).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bin_width_s: float = 1.0,
+        kinds: Optional[Iterable[PacketKind]] = None,
+    ) -> None:
+        self.sim = sim
+        self.bin_width_s = bin_width_s
+        self.kinds = set(kinds) if kinds is not None else None
+        self._series: dict[tuple[str, str, str], FlowSeries] = {}
+        self._hosts: list[str] = []
+
+    # -------------------------------------------------------------- wiring
+    def attach(self, host: Host) -> None:
+        """Start capturing at a host (both directions)."""
+        self._hosts.append(host.name)
+        host.taps.append(lambda direction, packet, name=host.name: self._record(name, direction, packet))
+
+    def _record(self, host_name: str, direction: str, packet: Packet) -> None:
+        if self.kinds is not None and packet.kind not in self.kinds:
+            return
+        key = (host_name, direction, packet.flow_id)
+        series = self._series.get(key)
+        if series is None:
+            series = FlowSeries(packet.flow_id, direction, self.bin_width_s)
+            self._series[key] = series
+        series.add(self.sim.now, packet.size_bytes)
+
+    # ------------------------------------------------------------- queries
+    def flow(self, host: str, direction: str, flow_id: str) -> FlowSeries:
+        """The series for one flow at one host ('tx' or 'rx'); empty if unseen."""
+        return self._series.get((host, direction, flow_id), FlowSeries(flow_id, direction, self.bin_width_s))
+
+    def flows_at(self, host: str, direction: str) -> list[FlowSeries]:
+        """All flow series captured at a host in one direction."""
+        return [s for (h, d, _), s in self._series.items() if h == host and d == direction]
+
+    def aggregate(
+        self,
+        host: str,
+        direction: str,
+        flow_prefix: str = "",
+    ) -> FlowSeries:
+        """Sum all flows at a host/direction whose id starts with ``flow_prefix``.
+
+        This is how the paper computes a client's total upstream or
+        downstream utilization regardless of how many RTP/RTCP/FEC streams
+        the application multiplexes.
+        """
+        combined = FlowSeries(flow_id=f"{flow_prefix}*", direction=direction, bin_width_s=self.bin_width_s)
+        for (h, d, flow_id), series in self._series.items():
+            if h != host or d != direction or not flow_id.startswith(flow_prefix):
+                continue
+            for index, size in series.bins.items():
+                combined.bins[index] += size
+        return combined

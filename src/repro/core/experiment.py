@@ -1,0 +1,126 @@
+"""Generic experiment runner: repeated, seeded runs plus aggregation.
+
+The paper's campaigns all share one structure: run the same scenario several
+times with identical parameters, compute a handful of scalar metrics and a
+few time series per run, and report medians / means with 90 % confidence
+bands across runs.  :class:`ExperimentRunner` factors that structure out so
+the per-section drivers in :mod:`repro.experiments` only have to describe a
+single run.
+
+The runner is deliberately ignorant of the VCA models: a run is any callable
+taking an :class:`ExperimentConfig` and a seed and returning a
+:class:`RunOutput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.analysis import RunSummary, aggregate_runs, summarize_series
+
+__all__ = ["ExperimentConfig", "RunOutput", "ExperimentResult", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters shared by every run of one experimental condition."""
+
+    name: str
+    #: Call duration in seconds (the paper uses 150 s for static shaping,
+    #: 300 s for disruptions, ~210 s for competition, 120 s for modality).
+    duration_s: float = 150.0
+    #: Initial seconds excluded from steady-state metrics (call setup).
+    warmup_s: float = 10.0
+    #: Number of repetitions of the condition.
+    repetitions: int = 5
+    #: Base seed; repetition ``i`` runs with ``seed + i``.
+    seed: int = 0
+    #: Width of capture bins (seconds).
+    bin_width_s: float = 1.0
+    #: Free-form per-experiment parameters (shaping level, VCA name, ...).
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def scaled(self, scale: float) -> "ExperimentConfig":
+        """A copy with the call duration and repetition count scaled down.
+
+        Benchmarks use this to run the full experiment matrix at reduced
+        cost; ``scale=1.0`` reproduces the paper's full campaign.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return ExperimentConfig(
+            name=self.name,
+            duration_s=max(self.duration_s * scale, 30.0),
+            warmup_s=self.warmup_s,
+            repetitions=max(int(round(self.repetitions * scale)), 1),
+            seed=self.seed,
+            bin_width_s=self.bin_width_s,
+            params=dict(self.params),
+        )
+
+
+@dataclass
+class RunOutput:
+    """What a single run produces."""
+
+    #: Scalar metrics, e.g. ``{"median_up_mbps": 0.93}``.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Named time series, e.g. ``{"upstream": (times, mbps)}``.
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    #: Arbitrary extra payload a driver wants to keep (per-run diagnostics).
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of all repetitions of one condition."""
+
+    config: ExperimentConfig
+    runs: list[RunOutput]
+    summaries: dict[str, RunSummary]
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+
+    def metric(self, name: str) -> RunSummary:
+        """Aggregated summary of one scalar metric."""
+        return self.summaries[name]
+
+    def metric_values(self, name: str) -> list[float]:
+        """Raw per-run values of one scalar metric."""
+        return [run.metrics[name] for run in self.runs if name in run.metrics]
+
+
+class ExperimentRunner:
+    """Runs one condition ``repetitions`` times and aggregates the outputs."""
+
+    def __init__(self, run_once: Callable[[ExperimentConfig, int], RunOutput]) -> None:
+        self.run_once = run_once
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Execute all repetitions of ``config`` and aggregate."""
+        runs: list[RunOutput] = []
+        for repetition in range(config.repetitions):
+            seed = config.seed + repetition
+            runs.append(self.run_once(config, seed))
+
+        metric_names: set[str] = set()
+        for run in runs:
+            metric_names.update(run.metrics)
+        summaries = {
+            name: aggregate_runs([run.metrics[name] for run in runs if name in run.metrics])
+            for name in sorted(metric_names)
+        }
+
+        series_names: set[str] = set()
+        for run in runs:
+            series_names.update(run.series)
+        series = {
+            name: summarize_series(
+                [run.series[name] for run in runs if name in run.series],
+                bin_width_s=config.bin_width_s,
+            )
+            for name in sorted(series_names)
+        }
+        return ExperimentResult(config=config, runs=runs, summaries=summaries, series=series)

@@ -1,0 +1,69 @@
+"""Call automation: the emulated PyAutoGUI / Selenium layer.
+
+The paper automates the in-call workflow -- joining and leaving calls,
+starting competing applications thirty seconds into a call, pinning a
+participant's video -- with PyAutoGUI driving the GUI and TCP sockets
+coordinating the two clients (Section 2.2).  In the emulation the same role
+is played by :class:`CallOrchestrator`: a schedule of named actions executed
+at pre-planned simulation times.  Keeping this as an explicit component (as
+opposed to sprinkling ``sim.schedule`` calls around the experiment drivers)
+mirrors the paper's architecture and gives experiments a single audit trail
+of what was done to the call and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.simulator import Simulator
+
+__all__ = ["ScheduledAction", "CallOrchestrator"]
+
+
+@dataclass
+class ScheduledAction:
+    """One automation step: what happens, when, and whether it ran."""
+
+    at: float
+    description: str
+    action: Callable[[], None]
+    executed: bool = False
+
+
+class CallOrchestrator:
+    """Schedules and records the automation steps of one experiment."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.actions: list[ScheduledAction] = []
+
+    def at(self, when: float, description: str, action: Callable[[], None]) -> ScheduledAction:
+        """Schedule ``action`` at absolute simulation time ``when``."""
+        step = ScheduledAction(at=when, description=description, action=action)
+        self.actions.append(step)
+
+        def _run() -> None:
+            step.executed = True
+            step.action()
+
+        self.sim.schedule_at(when, _run)
+        return step
+
+    def run_call(self, call, start: float, duration: float) -> None:
+        """Join all participants at ``start`` and leave after ``duration``."""
+        self.at(start, f"join {call!r}", call.start)
+        self.at(start + duration, f"leave {call!r}", call.stop)
+
+    def run_competitor(self, app, start: float, duration: float) -> None:
+        """Start a competing application and stop it after ``duration``."""
+        self.at(start, f"start competitor {app!r}", app.start)
+        self.at(start + duration, f"stop competitor {app!r}", app.stop)
+
+    @property
+    def log(self) -> list[str]:
+        """Human-readable audit trail of the automation schedule."""
+        return [
+            f"t={action.at:7.2f}s  {'done' if action.executed else 'pending'}  {action.description}"
+            for action in sorted(self.actions, key=lambda a: a.at)
+        ]

@@ -1,0 +1,66 @@
+"""The bandwidth profiles used by the paper's experiment campaigns.
+
+Section 3 shapes the access link to a grid of static levels, Section 4
+introduces 30-second transient drops one minute into the call, and Section 5
+sets a symmetric capacity on a shared bottleneck.  This module provides the
+exact parameter grids from the paper plus helpers that turn a level into a
+:class:`~repro.net.shaper.BandwidthProfile`.
+"""
+
+from __future__ import annotations
+
+from repro.net.shaper import UNCONSTRAINED_BPS, BandwidthProfile
+
+__all__ = [
+    "STATIC_SHAPING_LEVELS_MBPS",
+    "DISRUPTION_LEVELS_MBPS",
+    "COMPETITION_CAPACITIES_MBPS",
+    "PARTICIPANT_COUNTS",
+    "static_profile",
+    "disruption_profile",
+    "unconstrained_profile",
+    "mbps",
+]
+
+#: Section 3: "We constrain throughput to {0.3, 0.4, ..., 1.4, 1.5, 2, 5, 10} Mbps".
+STATIC_SHAPING_LEVELS_MBPS: tuple[float, ...] = (
+    0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 2.0, 5.0, 10.0,
+)
+
+#: Section 4: transient reductions to {0.25, 0.5, 0.75, 1.0} Mbps.
+DISRUPTION_LEVELS_MBPS: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+
+#: Section 5: symmetric link capacities {0.5, 1, 2, 3, 4, 5} Mbps.
+COMPETITION_CAPACITIES_MBPS: tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+
+#: Section 6: two to eight participants.
+PARTICIPANT_COUNTS: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+
+
+def mbps(value: float) -> float:
+    """Convert Mbps to bits per second."""
+    return value * 1e6
+
+
+def static_profile(capacity_mbps: float) -> BandwidthProfile:
+    """A constant shaping level held for the whole call (Section 3)."""
+    return BandwidthProfile.constant(mbps(capacity_mbps))
+
+
+def unconstrained_profile() -> BandwidthProfile:
+    """The unconstrained 1 Gbps baseline."""
+    return BandwidthProfile.unconstrained()
+
+
+def disruption_profile(
+    drop_to_mbps: float,
+    drop_at_s: float = 60.0,
+    duration_s: float = 30.0,
+) -> BandwidthProfile:
+    """Section 4's transient drop: baseline -> ``drop_to_mbps`` -> baseline."""
+    return BandwidthProfile.disruption(
+        drop_to_bps=mbps(drop_to_mbps),
+        drop_at_s=drop_at_s,
+        duration_s=duration_s,
+        baseline_bps=UNCONSTRAINED_BPS,
+    )

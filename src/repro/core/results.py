@@ -1,0 +1,101 @@
+"""Typed result records and plain-text rendering of tables and figures.
+
+The benchmark harness regenerates every table and figure of the paper as
+data; since the environment is headless the "figures" are rendered as text
+tables (one row per x-value, one column per series), which is what
+``EXPERIMENTS.md`` and the benchmark output capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["TableResult", "FigureSeries", "format_table", "format_figure"]
+
+
+@dataclass
+class TableResult:
+    """A paper table reproduced as rows of named values."""
+
+    table_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table {self.table_id} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def to_text(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+
+@dataclass
+class FigureSeries:
+    """One series of a paper figure: y-values (and optional CI) over x-values."""
+
+    figure_id: str
+    series_name: str
+    x_label: str
+    y_label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+    ci_low: list[float] = field(default_factory=list)
+    ci_high: list[float] = field(default_factory=list)
+
+    def add_point(
+        self, x: float, y: float, ci_low: Optional[float] = None, ci_high: Optional[float] = None
+    ) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+        self.ci_low.append(float(ci_low) if ci_low is not None else float(y))
+        self.ci_high.append(float(ci_high) if ci_high is not None else float(y))
+
+    def as_rows(self) -> list[tuple]:
+        return [
+            (x, y, lo, hi) for x, y, lo, hi in zip(self.x, self.y, self.ci_low, self.ci_high)
+        ]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as a fixed-width text table."""
+    header = [str(c) for c in columns]
+    rendered_rows = [[_format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_figure(figure_id: str, series: Mapping[str, FigureSeries]) -> str:
+    """Render several series of one figure as a combined text table."""
+    names = list(series)
+    if not names:
+        return f"{figure_id}: (no data)"
+    x_values = series[names[0]].x
+    columns = ["x"] + names
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for name in names:
+            values = series[name].y
+            row.append(values[index] if index < len(values) else float("nan"))
+        rows.append(tuple(row))
+    return format_table(figure_id, columns, rows)

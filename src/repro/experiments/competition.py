@@ -1,0 +1,312 @@
+"""Section 5 -- competing applications on a shared bottleneck.
+
+Reproduces:
+
+* **Figures 8 and 10** -- uplink / downlink share when an incumbent VCA
+  competes with another VCA call on a 0.5 Mbps symmetric link,
+* **Figure 9** -- bitrate traces of two Zoom calls and two Meet calls
+  competing with each other,
+* **Figure 11** -- Teams (incumbent) vs Zoom traces on a 1 Mbps link,
+* **Figure 12** -- the share an iPerf3 TCP flow obtains against each VCA on
+  a 2 Mbps link (both directions),
+* **Figure 13** -- Zoom's probing bursts hurting the competing TCP flow,
+* **Figure 14** -- Zoom vs Netflix on a 0.5 Mbps downlink, including the
+  number of TCP connections Netflix opens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.iperf import IperfFlow
+from repro.apps.netflix import NetflixPlayer
+from repro.apps.youtube import YouTubePlayer
+from repro.core.analysis import aggregate_runs, summarize_series
+from repro.core.capture import PacketCapture
+from repro.core.metrics import link_share
+from repro.core.orchestrator import CallOrchestrator
+from repro.core.profiles import static_profile
+from repro.core.results import FigureSeries, TableResult
+from repro.net.simulator import Simulator
+from repro.net.topology import build_competition_topology
+from repro.vca.call import Call, CallConfig
+from repro.experiments.static import DEFAULT_VCAS
+
+__all__ = [
+    "CompetitionRun",
+    "run_competition",
+    "run_vca_vs_vca",
+    "run_self_competition_timeseries",
+    "run_pair_timeseries",
+    "run_vca_vs_tcp",
+    "run_zoom_burst_trace",
+    "run_vca_vs_streaming",
+]
+
+#: Timeline constants from the paper: the incumbent call is established
+#: first, the competing application starts ~30 s later and runs for two
+#: minutes, and the incumbent continues for another minute afterwards.
+INCUMBENT_START_S = 2.0
+COMPETITOR_START_S = 32.0
+COMPETITOR_DURATION_S = 120.0
+TAIL_S = 60.0
+
+#: Competitor kinds that are not VCA calls.
+_APP_COMPETITORS = ("iperf-up", "iperf-down", "netflix", "youtube")
+
+
+@dataclass
+class CompetitionRun:
+    """Result handle of one competition experiment."""
+
+    sim: Simulator
+    capture: PacketCapture
+    incumbent_vca: str
+    competitor: str
+    capacity_mbps: float
+    competitor_start_s: float
+    competitor_end_s: float
+    end_s: float
+    netflix: Optional[NetflixPlayer] = None
+
+    def _series(self, host: str, direction: str) -> tuple[np.ndarray, np.ndarray]:
+        return self.capture.aggregate(host, direction).timeseries(0.0, self.end_s)
+
+    def incumbent_series(self, direction: str = "tx") -> tuple[np.ndarray, np.ndarray]:
+        """Per-second bitrate of the incumbent client C1 ('tx' or 'rx')."""
+        return self._series("C1", direction)
+
+    def competitor_series(self, direction: str = "tx") -> tuple[np.ndarray, np.ndarray]:
+        """Per-second bitrate of the competing client F1 ('tx' or 'rx')."""
+        return self._series("F1", direction)
+
+    def share(self, direction: str = "up") -> float:
+        """Incumbent's share of the bottleneck during the competition window."""
+        tx_rx = "tx" if direction == "up" else "rx"
+        window = (self.competitor_start_s + 10.0, self.competitor_end_s)
+        incumbent = self.capture.aggregate("C1", tx_rx).mean_mbps(*window)
+        competitor = self.capture.aggregate("F1", tx_rx).mean_mbps(*window)
+        return link_share(np.array([incumbent]), np.array([competitor]))
+
+
+def run_competition(
+    incumbent_vca: str,
+    competitor: str,
+    capacity_mbps: float,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+    seed: int = 0,
+) -> CompetitionRun:
+    """Run one incumbent-vs-competitor experiment on a shared bottleneck.
+
+    ``competitor`` is either a VCA name (a second call is established through
+    a separate media server) or one of ``iperf-up``, ``iperf-down``,
+    ``netflix``, ``youtube``.
+    """
+    sim = Simulator(seed=seed)
+    topo = build_competition_topology(sim)
+    profile = static_profile(capacity_mbps)
+    topo.shape(up_profile=profile, down_profile=static_profile(capacity_mbps))
+
+    capture = PacketCapture(sim)
+    capture.attach(topo.host("C1"))
+    capture.attach(topo.host("F1"))
+
+    orchestrator = CallOrchestrator(sim)
+    incumbent = Call(
+        sim,
+        [topo.host("C1"), topo.host("C2")],
+        topo.host("S1"),
+        CallConfig(vca=incumbent_vca, call_id="incumbent", seed=seed, collect_stats=False),
+    )
+    competitor_end_s = COMPETITOR_START_S + competitor_duration_s
+    end_s = competitor_end_s + TAIL_S
+    orchestrator.run_call(incumbent, start=INCUMBENT_START_S, duration=end_s - INCUMBENT_START_S)
+
+    netflix_player: Optional[NetflixPlayer] = None
+    if competitor in _APP_COMPETITORS:
+        if competitor.startswith("iperf"):
+            direction = "up" if competitor.endswith("up") else "down"
+            app = IperfFlow(sim, client=topo.host("F1"), server=topo.host("S2"), direction=direction)
+        elif competitor == "netflix":
+            app = NetflixPlayer(sim, client=topo.host("F1"), server=topo.host("S2"))
+            netflix_player = app
+        else:
+            app = YouTubePlayer(sim, client=topo.host("F1"), server=topo.host("S2"))
+        orchestrator.run_competitor(app, start=COMPETITOR_START_S, duration=competitor_duration_s)
+    else:
+        competing_call = Call(
+            sim,
+            [topo.host("F1"), topo.host("F2")],
+            topo.host("S2"),
+            CallConfig(vca=competitor, call_id="competitor", seed=seed + 500, collect_stats=False),
+        )
+        orchestrator.run_call(competing_call, start=COMPETITOR_START_S, duration=competitor_duration_s)
+
+    sim.run(until=end_s + 2.0)
+    return CompetitionRun(
+        sim=sim,
+        capture=capture,
+        incumbent_vca=incumbent_vca,
+        competitor=competitor,
+        capacity_mbps=capacity_mbps,
+        competitor_start_s=COMPETITOR_START_S,
+        competitor_end_s=competitor_end_s,
+        end_s=end_s,
+        netflix=netflix_player,
+    )
+
+
+def run_vca_vs_vca(
+    direction: str = "up",
+    capacity_mbps: float = 0.5,
+    incumbents: Sequence[str] = DEFAULT_VCAS,
+    competitors: Sequence[str] = DEFAULT_VCAS,
+    repetitions: int = 3,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+    seed: int = 0,
+) -> TableResult:
+    """Figures 8 / 10: link share of each incumbent against each competitor."""
+    figure_id = "fig8" if direction == "up" else "fig10"
+    table = TableResult(
+        table_id=figure_id,
+        title=f"{figure_id}: incumbent share of the {direction}link at {capacity_mbps} Mbps",
+        columns=("incumbent", "competitor", "incumbent_share", "share_ci_low", "share_ci_high"),
+    )
+    for incumbent in incumbents:
+        for competitor in competitors:
+            shares = []
+            for repetition in range(repetitions):
+                run = run_competition(
+                    incumbent,
+                    competitor,
+                    capacity_mbps,
+                    competitor_duration_s=competitor_duration_s,
+                    seed=seed + repetition,
+                )
+                shares.append(run.share(direction))
+            summary = aggregate_runs(shares)
+            table.add_row(incumbent, competitor, summary.mean, summary.ci_low, summary.ci_high)
+    return table
+
+
+def run_self_competition_timeseries(
+    vcas: Sequence[str] = ("zoom", "meet"),
+    capacity_mbps: float = 0.5,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+    seed: int = 0,
+) -> dict[str, dict[str, FigureSeries]]:
+    """Figure 9: upstream traces of two same-VCA calls sharing a 0.5 Mbps link."""
+    out: dict[str, dict[str, FigureSeries]] = {}
+    for vca in vcas:
+        run = run_competition(vca, vca, capacity_mbps, competitor_duration_s, seed=seed)
+        series = {}
+        for label, host_direction in (("incumbent", "tx"), ("competitor", "tx")):
+            data = run.incumbent_series("tx") if label == "incumbent" else run.competitor_series("tx")
+            figure = FigureSeries("fig9", f"{vca}-{label}", "time (s)", "upstream bitrate (Mbps)")
+            for t, value in zip(*data):
+                figure.add_point(float(t), float(value))
+            series[label] = figure
+        out[vca] = series
+    return out
+
+
+def run_pair_timeseries(
+    incumbent: str = "teams",
+    competitor: str = "zoom",
+    capacity_mbps: float = 1.0,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+    seed: int = 0,
+) -> dict[str, dict[str, FigureSeries]]:
+    """Figure 11: Teams (incumbent) vs Zoom traces in both directions."""
+    run = run_competition(incumbent, competitor, capacity_mbps, competitor_duration_s, seed=seed)
+    out: dict[str, dict[str, FigureSeries]] = {}
+    for direction, tx_rx in (("up", "tx"), ("down", "rx")):
+        series = {}
+        for label in ("incumbent", "competitor"):
+            data = run.incumbent_series(tx_rx) if label == "incumbent" else run.competitor_series(tx_rx)
+            name = incumbent if label == "incumbent" else competitor
+            figure = FigureSeries("fig11", f"{name}-{direction}", "time (s)", f"{direction}stream bitrate (Mbps)")
+            for t, value in zip(*data):
+                figure.add_point(float(t), float(value))
+            series[label] = figure
+        out[direction] = series
+    return out
+
+
+def run_vca_vs_tcp(
+    capacity_mbps: float = 2.0,
+    vcas: Sequence[str] = DEFAULT_VCAS,
+    repetitions: int = 3,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+    seed: int = 0,
+) -> TableResult:
+    """Figure 12: the share iPerf3 obtains against each incumbent VCA."""
+    table = TableResult(
+        table_id="fig12",
+        title=f"fig12: iPerf3 share of a {capacity_mbps} Mbps link vs incumbent VCAs",
+        columns=("incumbent", "direction", "iperf_share", "vca_share", "ci_low", "ci_high"),
+    )
+    for vca in vcas:
+        for direction in ("up", "down"):
+            shares = []
+            for repetition in range(repetitions):
+                run = run_competition(
+                    vca,
+                    f"iperf-{direction}",
+                    capacity_mbps,
+                    competitor_duration_s=competitor_duration_s,
+                    seed=seed + repetition,
+                )
+                shares.append(run.share(direction))
+            summary = aggregate_runs(shares)
+            table.add_row(vca, direction, 1.0 - summary.mean, summary.mean, summary.ci_low, summary.ci_high)
+    return table
+
+
+def run_zoom_burst_trace(
+    capacity_mbps: float = 2.0,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+    seed: int = 0,
+) -> dict[str, FigureSeries]:
+    """Figure 13: downstream traces of Zoom and a competing iPerf3 download."""
+    run = run_competition("zoom", "iperf-down", capacity_mbps, competitor_duration_s, seed=seed)
+    out = {}
+    for label, data in (("zoom", run.incumbent_series("rx")), ("iperf3", run.competitor_series("rx"))):
+        figure = FigureSeries("fig13", label, "time (s)", "downstream bitrate (Mbps)")
+        for t, value in zip(*data):
+            figure.add_point(float(t), float(value))
+        out[label] = figure
+    return out
+
+
+def run_vca_vs_streaming(
+    vca: str = "zoom",
+    app: str = "netflix",
+    capacity_mbps: float = 0.5,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+    seed: int = 0,
+) -> dict[str, FigureSeries]:
+    """Figure 14: a VCA vs a streaming application on a constrained downlink.
+
+    Returns the two downstream traces plus (for Netflix) the number of TCP
+    connections open per chunk over time.
+    """
+    run = run_competition(vca, app, capacity_mbps, competitor_duration_s, seed=seed)
+    out = {}
+    for label, data in ((vca, run.incumbent_series("rx")), (app, run.competitor_series("rx"))):
+        figure = FigureSeries("fig14a", label, "time (s)", "downstream bitrate (Mbps)")
+        for t, value in zip(*data):
+            figure.add_point(float(t), float(value))
+        out[label] = figure
+    if run.netflix is not None:
+        connections = FigureSeries("fig14b", "tcp-connections", "time (s)", "parallel TCP connections")
+        for t, count in run.netflix.connection_log:
+            connections.add_point(float(t), float(count))
+        connections_total = FigureSeries("fig14b-total", "connections-opened", "time (s)", "count")
+        connections_total.add_point(run.competitor_end_s, float(run.netflix.connections_opened))
+        out["tcp_connections"] = connections
+        out["tcp_connections_total"] = connections_total
+    return out

@@ -1,0 +1,158 @@
+"""Section 4 -- transient network disruptions.
+
+Reproduces:
+
+* **Figure 4a / 5a** -- average upstream / downstream bitrate over the course
+  of a call with a 30-second capacity drop one minute in,
+* **Figure 4b / 5b** -- time-to-recovery as a function of the drop severity,
+* **Figure 6** -- the *other* client's upstream bitrate while the measured
+  client's downlink is disrupted (the sender-side adaptation signature that
+  separates Teams from Meet).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.analysis import aggregate_runs, summarize_series
+from repro.core.metrics import time_to_recovery
+from repro.core.profiles import DISRUPTION_LEVELS_MBPS, disruption_profile
+from repro.core.results import FigureSeries
+from repro.experiments.common import run_two_party_call
+from repro.experiments.static import DEFAULT_VCAS
+
+__all__ = [
+    "run_disruption_timeseries",
+    "run_ttr_sweep",
+    "run_remote_sender_response",
+    "DISRUPTION_START_S",
+    "DISRUPTION_DURATION_S",
+]
+
+#: The paper starts the drop one minute into a five-minute call and holds it
+#: for thirty seconds.
+DISRUPTION_START_S = 60.0
+DISRUPTION_DURATION_S = 30.0
+
+
+def _disruption_run(
+    vca: str,
+    direction: str,
+    drop_to_mbps: float,
+    duration_s: float,
+    seed: int,
+    drop_at_s: float,
+    drop_duration_s: float,
+):
+    profile = disruption_profile(drop_to_mbps, drop_at_s=drop_at_s, duration_s=drop_duration_s)
+    if direction == "up":
+        return run_two_party_call(
+            vca, up_profile=profile, duration_s=duration_s, seed=seed, collect_stats=False
+        )
+    return run_two_party_call(
+        vca, down_profile=profile, duration_s=duration_s, seed=seed, collect_stats=False
+    )
+
+
+def run_disruption_timeseries(
+    direction: str = "up",
+    drop_to_mbps: float = 0.25,
+    vcas: Sequence[str] = DEFAULT_VCAS,
+    duration_s: float = 300.0,
+    repetitions: int = 4,
+    seed: int = 0,
+    drop_at_s: float = DISRUPTION_START_S,
+    drop_duration_s: float = DISRUPTION_DURATION_S,
+) -> dict[str, FigureSeries]:
+    """Figure 4a / 5a: the average bitrate trace around a disruption."""
+    figure_id = "fig4a" if direction == "up" else "fig5a"
+    out: dict[str, FigureSeries] = {}
+    for vca in vcas:
+        runs = []
+        for repetition in range(repetitions):
+            run = _disruption_run(
+                vca, direction, drop_to_mbps, duration_s, seed + repetition, drop_at_s, drop_duration_s
+            )
+            series = run.upstream_series() if direction == "up" else run.downstream_series()
+            runs.append(series)
+        times, mean_trace = summarize_series(runs)
+        figure = FigureSeries(figure_id, vca, "time (s)", f"{direction}stream bitrate (Mbps)")
+        for t, value in zip(times, mean_trace):
+            figure.add_point(float(t), float(value))
+        out[vca] = figure
+    return out
+
+
+def run_ttr_sweep(
+    direction: str = "up",
+    vcas: Sequence[str] = DEFAULT_VCAS,
+    levels_mbps: Iterable[float] = DISRUPTION_LEVELS_MBPS,
+    duration_s: float = 300.0,
+    repetitions: int = 4,
+    seed: int = 0,
+    drop_at_s: float = DISRUPTION_START_S,
+    drop_duration_s: float = DISRUPTION_DURATION_S,
+) -> dict[str, FigureSeries]:
+    """Figure 4b / 5b: time-to-recovery vs severity of the disruption."""
+    figure_id = "fig4b" if direction == "up" else "fig5b"
+    out: dict[str, FigureSeries] = {
+        vca: FigureSeries(figure_id, vca, f"{direction}link capacity during drop (Mbps)", "time to recovery (s)")
+        for vca in vcas
+    }
+    disruption_end = drop_at_s + drop_duration_s
+    for level in levels_mbps:
+        for vca in vcas:
+            ttrs = []
+            for repetition in range(repetitions):
+                run = _disruption_run(
+                    vca, direction, level, duration_s, seed + repetition, drop_at_s, drop_duration_s
+                )
+                times, mbps = (
+                    run.upstream_series() if direction == "up" else run.downstream_series()
+                )
+                ttrs.append(
+                    time_to_recovery(
+                        times,
+                        mbps,
+                        disruption_start=drop_at_s + run.start_s,
+                        disruption_end=disruption_end + run.start_s,
+                        max_ttr_s=duration_s - disruption_end,
+                    )
+                )
+            summary = aggregate_runs(ttrs)
+            out[vca].add_point(level, summary.mean, summary.ci_low, summary.ci_high)
+    return out
+
+
+def run_remote_sender_response(
+    vcas: Sequence[str] = ("meet", "teams"),
+    drop_to_mbps: float = 0.25,
+    duration_s: float = 300.0,
+    repetitions: int = 2,
+    seed: int = 0,
+    drop_at_s: float = DISRUPTION_START_S,
+    drop_duration_s: float = DISRUPTION_DURATION_S,
+) -> dict[str, FigureSeries]:
+    """Figure 6: C2's upstream bitrate while C1's *downlink* is disrupted.
+
+    With Meet the server absorbs the constraint (C2 keeps sending all
+    simulcast copies); with Teams C2 itself backs off and must probe its way
+    back up, which is what makes Teams slow to recover.
+    """
+    out: dict[str, FigureSeries] = {}
+    for vca in vcas:
+        runs = []
+        for repetition in range(repetitions):
+            run = _disruption_run(
+                vca, "down", drop_to_mbps, duration_s, seed + repetition, drop_at_s, drop_duration_s
+            )
+            series = run.capture.aggregate("C2", "tx").timeseries(0.0, run.end_s)
+            runs.append(series)
+        times, mean_trace = summarize_series(runs)
+        figure = FigureSeries("fig6", vca, "time (s)", "C2 upstream bitrate (Mbps)")
+        for t, value in zip(times, mean_trace):
+            figure.add_point(float(t), float(value))
+        out[vca] = figure
+    return out

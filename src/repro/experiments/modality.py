@@ -1,0 +1,72 @@
+"""Section 6 -- call modalities: participant count and viewing mode.
+
+Reproduces Figure 15:
+
+* **15a** -- C1's downlink utilization vs the number of participants in
+  gallery mode,
+* **15b** -- C1's uplink utilization vs the number of participants in
+  gallery mode,
+* **15c** -- C1's uplink utilization vs the number of participants when every
+  other participant pins C1's video (speaker mode).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.analysis import aggregate_runs
+from repro.core.profiles import PARTICIPANT_COUNTS
+from repro.core.results import FigureSeries
+from repro.media.layout import ViewMode
+from repro.experiments.common import run_multiparty_call
+from repro.experiments.static import DEFAULT_VCAS
+
+__all__ = ["run_participant_sweep"]
+
+
+def run_participant_sweep(
+    mode: str = "gallery",
+    vcas: Sequence[str] = DEFAULT_VCAS,
+    participant_counts: Iterable[int] = PARTICIPANT_COUNTS,
+    duration_s: float = 120.0,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> dict[str, dict[str, FigureSeries]]:
+    """Figure 15: C1's network utilization vs the number of participants.
+
+    Returns ``{"uplink": {vca: series}, "downlink": {vca: series}}``.  In
+    ``speaker`` mode every other participant pins C1 (Figure 15c measures the
+    pinned client's uplink).
+    """
+    if mode not in ("gallery", "speaker"):
+        raise ValueError("mode must be 'gallery' or 'speaker'")
+    view_mode = ViewMode.GALLERY if mode == "gallery" else ViewMode.SPEAKER
+    pinned = "C1" if mode == "speaker" else None
+    figure_up = "fig15b" if mode == "gallery" else "fig15c"
+    uplink: dict[str, FigureSeries] = {
+        vca: FigureSeries(figure_up, vca, "number of participants", "uplink bitrate (Mbps)")
+        for vca in vcas
+    }
+    downlink: dict[str, FigureSeries] = {
+        vca: FigureSeries("fig15a", vca, "number of participants", "downlink bitrate (Mbps)")
+        for vca in vcas
+    }
+    for count in participant_counts:
+        for vca in vcas:
+            ups, downs = [], []
+            for repetition in range(repetitions):
+                run = run_multiparty_call(
+                    vca,
+                    n_participants=count,
+                    mode=view_mode,
+                    pinned=pinned,
+                    duration_s=duration_s,
+                    seed=seed + repetition,
+                )
+                ups.append(run.mean_upstream_mbps())
+                downs.append(run.mean_downstream_mbps())
+            up_summary = aggregate_runs(ups)
+            down_summary = aggregate_runs(downs)
+            uplink[vca].add_point(count, up_summary.mean, up_summary.ci_low, up_summary.ci_high)
+            downlink[vca].add_point(count, down_summary.mean, down_summary.ci_low, down_summary.ci_high)
+    return {"uplink": uplink, "downlink": downlink}

@@ -1,0 +1,171 @@
+"""Experiment registry: table/figure id -> driver callable.
+
+The registry is the single source of truth the benchmark harness, the
+examples and ``EXPERIMENTS.md`` refer to.  Each entry maps the identifier
+used in the paper (``table2``, ``fig1a`` ... ``fig15c``) to the driver that
+regenerates it, together with a short description.
+
+Every driver can be called with reduced parameters (shorter calls, fewer
+repetitions, a coarser capacity grid) for quick runs; calling it with its
+defaults reproduces the paper-scale campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import competition, disruption, modality, static
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible artefact of the paper."""
+
+    experiment_id: str
+    description: str
+    section: str
+    driver: Callable
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "table2",
+            "Unconstrained upstream/downstream utilization per VCA",
+            "3.1",
+            static.run_unconstrained_utilization,
+        ),
+        ExperimentSpec(
+            "fig1a",
+            "Median bitrate vs uplink capacity",
+            "3.1",
+            lambda **kw: static.run_capacity_sweep(direction="up", **kw),
+        ),
+        ExperimentSpec(
+            "fig1b",
+            "Median bitrate vs downlink capacity",
+            "3.1",
+            lambda **kw: static.run_capacity_sweep(direction="down", **kw),
+        ),
+        ExperimentSpec(
+            "fig1c",
+            "Native vs browser clients under uplink shaping",
+            "3.1",
+            static.run_platform_comparison,
+        ),
+        ExperimentSpec(
+            "fig2",
+            "Encoding parameters (QP/FPS/width) vs capacity for Meet and Teams-Chrome",
+            "3.2",
+            static.run_encoding_parameters,
+        ),
+        ExperimentSpec(
+            "fig3",
+            "Freeze ratio vs downlink capacity and FIR count vs uplink capacity",
+            "3.2",
+            static.run_video_freezes,
+        ),
+        ExperimentSpec(
+            "fig4a",
+            "Upstream bitrate trace around a 30 s uplink disruption",
+            "4.1",
+            lambda **kw: disruption.run_disruption_timeseries(direction="up", **kw),
+        ),
+        ExperimentSpec(
+            "fig4b",
+            "Time to recovery vs uplink disruption severity",
+            "4.1",
+            lambda **kw: disruption.run_ttr_sweep(direction="up", **kw),
+        ),
+        ExperimentSpec(
+            "fig5a",
+            "Downstream bitrate trace around a 30 s downlink disruption",
+            "4.2",
+            lambda **kw: disruption.run_disruption_timeseries(direction="down", **kw),
+        ),
+        ExperimentSpec(
+            "fig5b",
+            "Time to recovery vs downlink disruption severity",
+            "4.2",
+            lambda **kw: disruption.run_ttr_sweep(direction="down", **kw),
+        ),
+        ExperimentSpec(
+            "fig6",
+            "Remote sender's upstream bitrate while the receiver's downlink is disrupted",
+            "4.2",
+            disruption.run_remote_sender_response,
+        ),
+        ExperimentSpec(
+            "fig8",
+            "Uplink share of incumbent VCA vs competing VCA at 0.5 Mbps",
+            "5.1",
+            lambda **kw: competition.run_vca_vs_vca(direction="up", **kw),
+        ),
+        ExperimentSpec(
+            "fig9",
+            "Self-competition traces (Zoom vs Zoom, Meet vs Meet) at 0.5 Mbps",
+            "5.1",
+            competition.run_self_competition_timeseries,
+        ),
+        ExperimentSpec(
+            "fig10",
+            "Downlink share of incumbent VCA vs competing VCA at 0.5 Mbps",
+            "5.1",
+            lambda **kw: competition.run_vca_vs_vca(direction="down", **kw),
+        ),
+        ExperimentSpec(
+            "fig11",
+            "Teams (incumbent) vs Zoom traces on a 1 Mbps link",
+            "5.1",
+            competition.run_pair_timeseries,
+        ),
+        ExperimentSpec(
+            "fig12",
+            "iPerf3 link share against each VCA on a 2 Mbps link",
+            "5.2",
+            competition.run_vca_vs_tcp,
+        ),
+        ExperimentSpec(
+            "fig13",
+            "Zoom probing bursts affecting a competing TCP download",
+            "5.2",
+            competition.run_zoom_burst_trace,
+        ),
+        ExperimentSpec(
+            "fig14",
+            "Zoom vs Netflix on a 0.5 Mbps downlink (+ Netflix TCP connection count)",
+            "5.3",
+            competition.run_vca_vs_streaming,
+        ),
+        ExperimentSpec(
+            "fig15ab",
+            "Uplink/downlink utilization vs participant count (gallery mode)",
+            "6.1",
+            lambda **kw: modality.run_participant_sweep(mode="gallery", **kw),
+        ),
+        ExperimentSpec(
+            "fig15c",
+            "Uplink utilization vs participant count when pinned (speaker mode)",
+            "6.2",
+            lambda **kw: modality.run_participant_sweep(mode="speaker", **kw),
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment by its paper identifier."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def list_experiments() -> list[str]:
+    """All known experiment identifiers, sorted."""
+    return sorted(EXPERIMENTS)

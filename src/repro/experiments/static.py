@@ -1,0 +1,234 @@
+"""Section 3 -- static network conditions.
+
+Reproduces:
+
+* **Table 2** -- unconstrained upstream / downstream utilization per VCA,
+* **Figure 1a/1b** -- median bitrate vs uplink / downlink capacity,
+* **Figure 1c** -- native vs browser clients under uplink shaping,
+* **Figure 2** -- encoding parameters (QP, FPS, frame width) vs capacity for
+  Meet and Teams-Chrome,
+* **Figure 3a/3b** -- freeze ratio vs downlink capacity and FIR count vs
+  uplink capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.analysis import aggregate_runs
+from repro.core.profiles import STATIC_SHAPING_LEVELS_MBPS, static_profile
+from repro.core.results import FigureSeries, TableResult
+from repro.experiments.common import run_two_party_call
+
+__all__ = [
+    "DEFAULT_VCAS",
+    "run_unconstrained_utilization",
+    "run_capacity_sweep",
+    "run_platform_comparison",
+    "run_encoding_parameters",
+    "run_video_freezes",
+]
+
+#: The three headline applications of the paper.
+DEFAULT_VCAS: tuple[str, ...] = ("meet", "teams", "zoom")
+
+#: The two applications for which WebRTC statistics are available (Section 3.2).
+STATS_VCAS: tuple[str, ...] = ("meet", "teams-chrome")
+
+
+def _profile_for(direction: str, capacity_mbps: Optional[float]):
+    if capacity_mbps is None:
+        return None, None
+    profile = static_profile(capacity_mbps)
+    if direction == "up":
+        return profile, None
+    if direction == "down":
+        return None, profile
+    raise ValueError("direction must be 'up' or 'down'")
+
+
+def run_unconstrained_utilization(
+    vcas: Sequence[str] = DEFAULT_VCAS,
+    duration_s: float = 150.0,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> TableResult:
+    """Table 2: average up/down utilization on an unconstrained link."""
+    table = TableResult(
+        table_id="table2",
+        title="Table 2: Unconstrained network utilization (Mbps)",
+        columns=("vca", "upstream_mbps", "downstream_mbps", "up_ci_low", "up_ci_high"),
+    )
+    for vca in vcas:
+        ups, downs = [], []
+        for repetition in range(repetitions):
+            run = run_two_party_call(
+                vca, duration_s=duration_s, seed=seed + repetition, collect_stats=False
+            )
+            ups.append(run.mean_upstream_mbps())
+            downs.append(run.mean_downstream_mbps())
+        up_summary = aggregate_runs(ups)
+        down_summary = aggregate_runs(downs)
+        table.add_row(vca, up_summary.mean, down_summary.mean, up_summary.ci_low, up_summary.ci_high)
+    return table
+
+
+def run_capacity_sweep(
+    direction: str = "up",
+    vcas: Sequence[str] = DEFAULT_VCAS,
+    levels_mbps: Iterable[float] = STATIC_SHAPING_LEVELS_MBPS,
+    duration_s: float = 150.0,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> dict[str, FigureSeries]:
+    """Figure 1a/1b: median bitrate vs shaped capacity, one series per VCA."""
+    figure_id = "fig1a" if direction == "up" else "fig1b"
+    series: dict[str, FigureSeries] = {
+        vca: FigureSeries(
+            figure_id=figure_id,
+            series_name=vca,
+            x_label=f"{direction}link capacity (Mbps)",
+            y_label="median bitrate (Mbps)",
+        )
+        for vca in vcas
+    }
+    for level in levels_mbps:
+        up_profile, down_profile = _profile_for(direction, level)
+        for vca in vcas:
+            values = []
+            for repetition in range(repetitions):
+                run = run_two_party_call(
+                    vca,
+                    up_profile=up_profile,
+                    down_profile=down_profile,
+                    duration_s=duration_s,
+                    seed=seed + repetition,
+                    collect_stats=False,
+                )
+                if direction == "up":
+                    values.append(run.median_upstream_mbps())
+                else:
+                    values.append(run.median_downstream_mbps())
+            summary = aggregate_runs(values)
+            series[vca].add_point(level, summary.median, summary.ci_low, summary.ci_high)
+    return series
+
+
+def run_platform_comparison(
+    direction: str = "up",
+    vcas: Sequence[str] = ("teams", "teams-chrome", "zoom", "zoom-chrome"),
+    levels_mbps: Iterable[float] = STATIC_SHAPING_LEVELS_MBPS,
+    duration_s: float = 150.0,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> dict[str, FigureSeries]:
+    """Figure 1c: native vs Chrome clients under uplink shaping."""
+    result = run_capacity_sweep(
+        direction=direction,
+        vcas=vcas,
+        levels_mbps=levels_mbps,
+        duration_s=duration_s,
+        repetitions=repetitions,
+        seed=seed,
+    )
+    for series in result.values():
+        series.figure_id = "fig1c"
+    return result
+
+
+def run_encoding_parameters(
+    direction: str = "down",
+    vcas: Sequence[str] = STATS_VCAS,
+    levels_mbps: Iterable[float] = (0.3, 0.5, 1.0, 1.5, 2.0, 5.0, 10.0),
+    duration_s: float = 150.0,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> dict[str, dict[str, FigureSeries]]:
+    """Figure 2: QP / FPS / frame width vs capacity from the WebRTC stats.
+
+    Returns ``{metric: {vca: series}}`` for metrics ``qp``, ``fps``, ``width``.
+    For downlink constraints the received-stream statistics are reported (the
+    stream whose quality the constraint affects); for uplink constraints the
+    sent-stream statistics are reported, as in the paper.
+    """
+    metrics = ("qp", "fps", "width")
+    stat_keys = {
+        "down": {"qp": "received_qp", "fps": "received_fps", "width": "received_width"},
+        "up": {"qp": "sent_qp", "fps": "sent_fps", "width": "sent_width"},
+    }[direction]
+    figure_id = "fig2-down" if direction == "down" else "fig2-up"
+    out: dict[str, dict[str, FigureSeries]] = {
+        metric: {
+            vca: FigureSeries(
+                figure_id=figure_id,
+                series_name=vca,
+                x_label=f"{direction}link capacity (Mbps)",
+                y_label=metric,
+            )
+            for vca in vcas
+        }
+        for metric in metrics
+    }
+    for level in levels_mbps:
+        up_profile, down_profile = _profile_for(direction, level)
+        for vca in vcas:
+            collected: dict[str, list[float]] = {metric: [] for metric in metrics}
+            for repetition in range(repetitions):
+                run = run_two_party_call(
+                    vca,
+                    up_profile=up_profile,
+                    down_profile=down_profile,
+                    duration_s=duration_s,
+                    seed=seed + repetition,
+                    collect_stats=True,
+                )
+                for metric in metrics:
+                    collected[metric].append(run.mean_stat(stat_keys[metric]))
+            for metric in metrics:
+                summary = aggregate_runs(collected[metric])
+                out[metric][vca].add_point(level, summary.mean, summary.ci_low, summary.ci_high)
+    return out
+
+
+def run_video_freezes(
+    vcas: Sequence[str] = STATS_VCAS,
+    levels_mbps: Iterable[float] = (0.3, 0.5, 1.0, 1.5, 2.0, 5.0, 10.0),
+    duration_s: float = 150.0,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> dict[str, dict[str, FigureSeries]]:
+    """Figure 3: freeze ratio vs downlink capacity, FIR count vs uplink capacity.
+
+    Returns ``{"freeze_ratio": {vca: series}, "fir_count": {vca: series}}``.
+    """
+    freeze_series = {
+        vca: FigureSeries("fig3a", vca, "downlink capacity (Mbps)", "freeze ratio") for vca in vcas
+    }
+    fir_series = {
+        vca: FigureSeries("fig3b", vca, "uplink capacity (Mbps)", "total FIR count") for vca in vcas
+    }
+    for level in levels_mbps:
+        for vca in vcas:
+            freezes, firs = [], []
+            for repetition in range(repetitions):
+                down_run = run_two_party_call(
+                    vca,
+                    down_profile=static_profile(level),
+                    duration_s=duration_s,
+                    seed=seed + repetition,
+                    collect_stats=True,
+                )
+                freezes.append(down_run.freeze_ratio())
+                up_run = run_two_party_call(
+                    vca,
+                    up_profile=static_profile(level),
+                    duration_s=duration_s,
+                    seed=seed + repetition,
+                    collect_stats=True,
+                )
+                firs.append(float(up_run.fir_count()))
+            f_summary = aggregate_runs(freezes)
+            r_summary = aggregate_runs(firs)
+            freeze_series[vca].add_point(level, f_summary.mean, f_summary.ci_low, f_summary.ci_high)
+            fir_series[vca].add_point(level, r_summary.mean, r_summary.ci_low, r_summary.ci_high)
+    return {"freeze_ratio": freeze_series, "fir_count": fir_series}

@@ -1,0 +1,61 @@
+"""Media pipeline substrate.
+
+This package models everything between the webcam and the wire:
+
+* :mod:`repro.media.source` -- the pre-recorded 720p talking-head video the
+  paper feeds to every client via ffmpeg, modelled as a deterministic
+  frame-complexity process;
+* :mod:`repro.media.codec` -- an empirical rate--quality model mapping
+  (resolution, frame rate, quantization parameter) to bitrate and back;
+* :mod:`repro.media.encoder` -- the adaptive encoder and the per-VCA
+  adaptation policies that decide *which* of FPS / QP / resolution to degrade
+  when the congestion controller lowers the target bitrate (Section 3.2);
+* :mod:`repro.media.simulcast` -- Meet's simulcast encoder (multiple
+  independent copies at different resolutions);
+* :mod:`repro.media.svc` -- Zoom's scalable video coding (hierarchical
+  layers);
+* :mod:`repro.media.layout` -- gallery / speaker-mode layouts and the tile
+  sizes that drive the call-modality results of Section 6;
+* :mod:`repro.media.quality` -- receive-side quality accounting, including
+  the paper's freeze rule (frame gap > max(3*delta, delta + 150 ms)).
+"""
+
+from repro.media.codec import CodecModel, RESOLUTION_LADDER, Resolution
+from repro.media.encoder import (
+    AdaptiveEncoder,
+    EncodedFrame,
+    EncoderPolicy,
+    EncoderSettings,
+    MeetEncoderPolicy,
+    TeamsChromeEncoderPolicy,
+    TeamsNativeEncoderPolicy,
+    ZoomEncoderPolicy,
+)
+from repro.media.layout import LayoutSpec, ViewMode, layout_for
+from repro.media.quality import FreezeTracker
+from repro.media.simulcast import SimulcastEncoder, SimulcastLayer
+from repro.media.source import TalkingHeadSource
+from repro.media.svc import SVCEncoder, SVCLayer
+
+__all__ = [
+    "CodecModel",
+    "Resolution",
+    "RESOLUTION_LADDER",
+    "TalkingHeadSource",
+    "AdaptiveEncoder",
+    "EncodedFrame",
+    "EncoderSettings",
+    "EncoderPolicy",
+    "MeetEncoderPolicy",
+    "TeamsNativeEncoderPolicy",
+    "TeamsChromeEncoderPolicy",
+    "ZoomEncoderPolicy",
+    "SimulcastEncoder",
+    "SimulcastLayer",
+    "SVCEncoder",
+    "SVCLayer",
+    "LayoutSpec",
+    "ViewMode",
+    "layout_for",
+    "FreezeTracker",
+]

@@ -1,0 +1,137 @@
+"""Empirical rate--quality codec model.
+
+The VCAs the paper studies encode with VP8/VP9/H.264; what the measurement
+study actually observes are three encoding parameters exposed by the WebRTC
+stats API -- frames per second, quantization parameter (QP) and frame width --
+together with the resulting bitrate.  :class:`CodecModel` captures the
+relationship between those quantities with the standard empirical model used
+in rate-control literature:
+
+``bitrate = anchor_bitrate * (pixels/anchor_pixels)^a * (fps/anchor_fps)^b * 2^(-(qp - anchor_qp)/6)``
+
+i.e. bitrate roughly halves for every six QP steps, grows sub-linearly with
+pixel count (talking-head content has large static regions, so spatial
+scaling is cheap) and sub-linearly with frame rate (temporal prediction).
+
+The default anchor is calibrated so that the unconstrained operating points
+the paper reports (Table 2 and Figure 2) fall out of the model:
+
+* a 1280x720 @ 30 fps talking-head stream at QP 20 costs about 1.7 Mbps,
+* Meet's 0.75 Mbps top stream corresponds to QP ~27,
+* the 320x180 simulcast copy at ~0.125 Mbps corresponds to QP in the low 30s,
+  consistent with the QP range of Figure 2a.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import NamedTuple
+
+__all__ = ["Resolution", "RESOLUTION_LADDER", "CodecModel"]
+
+
+class Resolution(NamedTuple):
+    """A video frame geometry."""
+
+    width: int
+    height: int
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.width}x{self.height}"
+
+
+#: Standard 16:9 resolution ladder used by the VCA models, ordered from the
+#: highest to the lowest quality.  The 1280x720 source matches the paper's
+#: pre-recorded talking-head video; 640x360 and 320x180 are the simulcast
+#: copies the paper observed in Meet.
+RESOLUTION_LADDER: tuple[Resolution, ...] = (
+    Resolution(1280, 720),
+    Resolution(960, 540),
+    Resolution(640, 360),
+    Resolution(480, 270),
+    Resolution(320, 180),
+)
+
+
+@dataclass(frozen=True)
+class CodecModel:
+    """Rate--quality model for a talking-head video encoder."""
+
+    #: Bitrate of the anchor operating point, bits per second.
+    anchor_bitrate_bps: float = 1_700_000.0
+    anchor_resolution: Resolution = Resolution(1280, 720)
+    anchor_fps: float = 30.0
+    anchor_qp: float = 20.0
+    #: Spatial scaling exponent (how bitrate scales with pixel count).
+    spatial_exponent: float = 0.5
+    #: Temporal scaling exponent (how bitrate scales with frame rate).
+    temporal_exponent: float = 0.6
+    #: QP step that halves the bitrate.
+    qp_halving_step: float = 6.0
+    #: Encoder QP limits (the WebRTC encoders the paper observes report QP
+    #: values roughly within 10..45).
+    min_qp: float = 10.0
+    max_qp: float = 45.0
+    #: Size multiplier of a keyframe relative to a predicted frame.
+    keyframe_multiplier: float = 4.0
+
+    # ------------------------------------------------------------- forward
+    def bitrate_bps(self, resolution: Resolution, fps: float, qp: float) -> float:
+        """Bitrate produced by encoding at the given operating point."""
+        if fps <= 0:
+            return 0.0
+        spatial = (resolution.pixels / self.anchor_resolution.pixels) ** self.spatial_exponent
+        temporal = (fps / self.anchor_fps) ** self.temporal_exponent
+        quality = 2.0 ** (-(qp - self.anchor_qp) / self.qp_halving_step)
+        return self.anchor_bitrate_bps * spatial * temporal * quality
+
+    # ------------------------------------------------------------- inverse
+    def qp_for_bitrate(self, resolution: Resolution, fps: float, target_bps: float) -> float:
+        """QP needed to hit ``target_bps`` at the given resolution and fps.
+
+        The result is clamped to the encoder's QP range, so the realised
+        bitrate (via :meth:`bitrate_bps`) may be above the target when even
+        the maximum QP cannot compress enough -- which is exactly the
+        overload situation that produces FIR storms in Figure 3b.
+        """
+        if target_bps <= 0:
+            return self.max_qp
+        reference = self.bitrate_bps(resolution, fps, self.anchor_qp)
+        if reference <= 0:
+            return self.max_qp
+        qp = self.anchor_qp + self.qp_halving_step * math.log2(reference / target_bps)
+        return min(max(qp, self.min_qp), self.max_qp)
+
+    def frame_bytes(
+        self,
+        resolution: Resolution,
+        fps: float,
+        qp: float,
+        complexity: float = 1.0,
+        keyframe: bool = False,
+    ) -> int:
+        """Size of one encoded frame in bytes.
+
+        ``complexity`` scales the frame with the instantaneous scene activity
+        provided by :class:`~repro.media.source.TalkingHeadSource`.
+        """
+        bps = self.bitrate_bps(resolution, fps, qp) * complexity
+        frame_bits = bps / max(fps, 1.0)
+        if keyframe:
+            frame_bits *= self.keyframe_multiplier
+        return max(int(frame_bits / 8), 200)
+
+    def achievable_bitrate(self, resolution: Resolution, fps: float, target_bps: float) -> float:
+        """Bitrate actually produced when targeting ``target_bps``.
+
+        This accounts for QP clamping: below the rate reachable at
+        ``max_qp`` the encoder cannot go lower, above the rate at ``min_qp``
+        it cannot go higher.
+        """
+        qp = self.qp_for_bitrate(resolution, fps, target_bps)
+        return self.bitrate_bps(resolution, fps, qp)

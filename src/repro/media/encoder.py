@@ -1,0 +1,316 @@
+"""Adaptive video encoding and the per-VCA adaptation policies.
+
+Section 3.2 of the paper shows that, although every VCA must reduce its video
+bitrate when the congestion controller lowers its target, *which* encoding
+parameter each VCA sacrifices differs sharply:
+
+* **Meet** keeps resolution and QP and drops frames first, then switches to a
+  lower simulcast resolution (with a *rise* in FPS and a drop in QP when the
+  switch happens);
+* **Teams-Chrome** degrades FPS, QP and resolution simultaneously, with large
+  run-to-run variance, and exhibits a bug where the frame width *increases*
+  again at 0.3 Mbps uplink, causing overload and FIR storms;
+* **Teams native** mainly raises QP and reduces width while holding FPS;
+* **Zoom** uses SVC layers, effectively adapting continuously.
+
+This module provides the encoder machinery (:class:`AdaptiveEncoder`) and one
+:class:`EncoderPolicy` per behaviour.  Policies are pure functions from a
+target bitrate to :class:`EncoderSettings`, so they are unit-testable against
+the orderings reported in Figure 2 without running any network simulation.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.media.codec import RESOLUTION_LADDER, CodecModel, Resolution
+from repro.media.source import TalkingHeadSource
+
+__all__ = [
+    "EncoderSettings",
+    "EncodedFrame",
+    "EncoderPolicy",
+    "MeetEncoderPolicy",
+    "TeamsNativeEncoderPolicy",
+    "TeamsChromeEncoderPolicy",
+    "ZoomEncoderPolicy",
+    "AdaptiveEncoder",
+]
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class EncoderSettings:
+    """The three encoding parameters the paper tracks (Figure 2)."""
+
+    resolution: Resolution
+    fps: float
+    qp: float
+
+    @property
+    def width(self) -> int:
+        return self.resolution.width
+
+    @property
+    def height(self) -> int:
+        return self.resolution.height
+
+
+@dataclass
+class EncodedFrame:
+    """One encoded video frame ready for packetization."""
+
+    frame_id: int
+    capture_time: float
+    size_bytes: int
+    settings: EncoderSettings
+    keyframe: bool = False
+    layer: str = "main"
+
+
+class EncoderPolicy(abc.ABC):
+    """Maps a congestion-controller target bitrate to encoder settings."""
+
+    #: Nominal (unconstrained) video bitrate of the stream this policy drives.
+    nominal_bitrate_bps: float = 1_000_000.0
+
+    @abc.abstractmethod
+    def select(self, target_bps: float, codec: CodecModel) -> EncoderSettings:
+        """Choose (resolution, fps, qp) for the given target bitrate."""
+
+
+def _nearest_rung(width: int) -> Resolution:
+    """The ladder resolution closest to ``width`` (used for reporting)."""
+    return min(RESOLUTION_LADDER, key=lambda r: abs(r.width - width))
+
+
+class MeetEncoderPolicy(EncoderPolicy):
+    """Google Meet's adaptation of its *primary* (top simulcast) stream.
+
+    The top copy is 640x360 (the paper observes 320x180 and 640x360 copies);
+    the policy holds resolution and raises QP as the target falls, then drops
+    to the 320x180 geometry at low targets, also halving the frame rate --
+    matching the uplink behaviour in Figures 2d-2f.
+    """
+
+    def __init__(self, nominal_bitrate_bps: float = 800_000.0) -> None:
+        self.nominal_bitrate_bps = nominal_bitrate_bps
+        self.primary = Resolution(640, 360)
+        self.fallback = Resolution(320, 180)
+        #: Below this target the encoder falls back to the low resolution.
+        self.fallback_threshold_bps = 320_000.0
+
+    def select(self, target_bps: float, codec: CodecModel) -> EncoderSettings:
+        target = min(target_bps, self.nominal_bitrate_bps)
+        if target >= self.fallback_threshold_bps:
+            fps = 30.0
+            resolution = self.primary
+        else:
+            resolution = self.fallback
+            fps = 15.0 if target < 200_000.0 else 24.0
+        qp = codec.qp_for_bitrate(resolution, fps, target)
+        return EncoderSettings(resolution=resolution, fps=fps, qp=qp)
+
+
+class TeamsNativeEncoderPolicy(EncoderPolicy):
+    """Teams native client: raise QP and shrink width, keep FPS ~constant."""
+
+    def __init__(self, nominal_bitrate_bps: float = 1_500_000.0) -> None:
+        self.nominal_bitrate_bps = nominal_bitrate_bps
+
+    def select(self, target_bps: float, codec: CodecModel) -> EncoderSettings:
+        target = min(target_bps, self.nominal_bitrate_bps)
+        fraction = target / self.nominal_bitrate_bps
+        if fraction >= 0.60:
+            resolution = Resolution(1280, 720)
+        elif fraction >= 0.40:
+            resolution = Resolution(960, 540)
+        elif fraction >= 0.22:
+            resolution = Resolution(640, 360)
+        else:
+            resolution = Resolution(480, 270)
+        fps = 30.0
+        qp = codec.qp_for_bitrate(resolution, fps, target)
+        return EncoderSettings(resolution=resolution, fps=fps, qp=qp)
+
+
+class TeamsChromeEncoderPolicy(EncoderPolicy):
+    """Teams browser client: degrade FPS, QP and width simultaneously.
+
+    Reproduces two quirks the paper reports: large variability between runs
+    under identical shaping (a per-instance jitter factor) and the
+    frame-width *increase* at very low uplink targets that causes encoder
+    overload and the FIR spike of Figure 3b.
+    """
+
+    def __init__(
+        self,
+        nominal_bitrate_bps: float = 1_100_000.0,
+        variability: float = 0.0,
+        buggy_low_rate_width: bool = True,
+    ) -> None:
+        self.nominal_bitrate_bps = nominal_bitrate_bps
+        #: Multiplicative jitter (+-fraction) applied to the width/fps choice;
+        #: the VCA client model draws this once per call to reproduce the
+        #: wide confidence bands of Figure 2.
+        self.variability = variability
+        self.buggy_low_rate_width = buggy_low_rate_width
+        #: Below this target the width bug triggers.
+        self.bug_threshold_bps = 350_000.0
+
+    def select(self, target_bps: float, codec: CodecModel) -> EncoderSettings:
+        target = min(target_bps, self.nominal_bitrate_bps)
+        fraction = max(min(target / self.nominal_bitrate_bps, 1.0), 0.05)
+        jitter = 1.0 + self.variability
+
+        if self.buggy_low_rate_width and target < self.bug_threshold_bps:
+            # The paper's surprising observation: width jumps back to the full
+            # 1280 at 0.3 Mbps uplink.  Encoding 720p at such a low budget
+            # overshoots the congestion-control target considerably, which
+            # overloads the shaped uplink and triggers the FIR storm of
+            # Figure 3b.
+            resolution = Resolution(1280, 720)
+            fps = max(12.0, 30.0 * fraction ** 0.4)
+            qp = codec.qp_for_bitrate(resolution, fps, target * 2.5)
+            return EncoderSettings(resolution=resolution, fps=fps, qp=qp)
+
+        width = int(1280 * (fraction ** 0.5) * jitter)
+        resolution = _nearest_rung(max(width, 320))
+        fps = float(min(30.0, max(10.0, 30.0 * (fraction ** 0.4) * jitter)))
+        qp = codec.qp_for_bitrate(resolution, fps, target)
+        return EncoderSettings(resolution=resolution, fps=fps, qp=qp)
+
+
+class ZoomEncoderPolicy(EncoderPolicy):
+    """Zoom's SVC-style adaptation: effectively continuous rate matching."""
+
+    def __init__(self, nominal_bitrate_bps: float = 740_000.0) -> None:
+        self.nominal_bitrate_bps = nominal_bitrate_bps
+
+    def select(self, target_bps: float, codec: CodecModel) -> EncoderSettings:
+        target = min(target_bps, self.nominal_bitrate_bps)
+        if target >= 500_000.0:
+            resolution = Resolution(1280, 720)
+            fps = 30.0
+        elif target >= 250_000.0:
+            resolution = Resolution(640, 360)
+            fps = 30.0
+        else:
+            resolution = Resolution(320, 180)
+            fps = 25.0 if target >= 150_000.0 else 15.0
+        qp = codec.qp_for_bitrate(resolution, fps, target)
+        return EncoderSettings(resolution=resolution, fps=fps, qp=qp)
+
+
+class AdaptiveEncoder:
+    """A single-stream adaptive encoder.
+
+    The encoder is driven by two inputs: the congestion controller's target
+    bitrate (via :meth:`set_target_bitrate`) and keyframe requests arriving as
+    RTCP Full Intra Requests (via :meth:`request_keyframe`).  Each call to
+    :meth:`encode_frame` consumes the current settings and produces an
+    :class:`EncodedFrame` whose size follows the codec model and the source's
+    instantaneous complexity.
+    """
+
+    def __init__(
+        self,
+        codec: CodecModel,
+        policy: EncoderPolicy,
+        source: Optional[TalkingHeadSource] = None,
+        keyframe_interval_s: float = 10.0,
+        layer: str = "main",
+    ) -> None:
+        self.codec = codec
+        self.policy = policy
+        self.source = source or TalkingHeadSource()
+        self.keyframe_interval_s = keyframe_interval_s
+        self.layer = layer
+        self._target_bps = policy.nominal_bitrate_bps
+        self._settings = policy.select(self._target_bps, codec)
+        self._keyframe_pending = True
+        self._last_keyframe_at = -1e9
+        self._next_frame_at = 0.0
+        self._last_emit_at: float | None = None
+        self.frames_encoded = 0
+
+    # ----------------------------------------------------------------- API
+    @property
+    def settings(self) -> EncoderSettings:
+        """The encoder's current operating point."""
+        return self._settings
+
+    @property
+    def target_bitrate_bps(self) -> float:
+        return self._target_bps
+
+    @property
+    def frame_interval_s(self) -> float:
+        """Seconds between consecutive frames at the current frame rate."""
+        return 1.0 / max(self._settings.fps, 1.0)
+
+    def set_target_bitrate(self, target_bps: float) -> None:
+        """Update the operating point for the new congestion-control target."""
+        self._target_bps = max(target_bps, 0.0)
+        self._settings = self.policy.select(self._target_bps, self.codec)
+
+    def request_keyframe(self) -> None:
+        """Handle an incoming FIR: the next encoded frame will be a keyframe."""
+        self._keyframe_pending = True
+
+    def encode_frame(self, now: float) -> EncodedFrame:
+        """Encode one frame at simulation time ``now``."""
+        keyframe = self._keyframe_pending or (
+            now - self._last_keyframe_at >= self.keyframe_interval_s
+        )
+        if keyframe:
+            self._keyframe_pending = False
+            self._last_keyframe_at = now
+        complexity = self.source.complexity(now)
+        size = self.codec.frame_bytes(
+            self._settings.resolution,
+            self._settings.fps,
+            self._settings.qp,
+            complexity=complexity,
+            keyframe=keyframe,
+        )
+        self.frames_encoded += 1
+        return EncodedFrame(
+            frame_id=next(_frame_ids),
+            capture_time=now,
+            size_bytes=size,
+            settings=self._settings,
+            keyframe=keyframe,
+            layer=self.layer,
+        )
+
+    def frames_due(self, now: float) -> list[EncodedFrame]:
+        """Encode at most one frame if the capture clock has reached it.
+
+        This gives single-stream, simulcast and SVC encoders a uniform
+        interface: the media sender ticks at a fixed base rate and each
+        encoder decides whether a frame (or several, for layered encoders) is
+        due at that instant.
+
+        Because the sender polls on a fixed grid, frame emission times are
+        quantised; to keep the *realised bitrate* equal to the target
+        regardless of that quantisation the frame size is scaled by the time
+        actually elapsed since the previous frame.
+        """
+        if now + 1e-9 < self._next_frame_at:
+            return []
+        frame = self.encode_frame(now)
+        interval = self.frame_interval_s
+        if self._last_emit_at is not None:
+            elapsed = now - self._last_emit_at
+            if elapsed > 0:
+                frame.size_bytes = max(int(frame.size_bytes * elapsed / interval), 200)
+        self._last_emit_at = now
+        # Keep cadence relative to the previous due time (not to `now`) so a
+        # coarse polling grid does not systematically stretch the interval.
+        self._next_frame_at = max(self._next_frame_at + interval, now - interval)
+        return [frame]

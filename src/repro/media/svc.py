@@ -1,0 +1,179 @@
+"""Scalable video coding (Zoom).
+
+Zoom encodes a single hierarchical stream: a base layer plus enhancement
+layers that progressively add resolution / frame-rate / fidelity (the Zoom
+engineering blog cited by the paper, reference [34]).  Two consequences the
+paper measures follow directly from this architecture:
+
+* the *relay server* can adapt each receiver's downstream instantly by
+  forwarding fewer layers, so Zoom tracks available downlink capacity closely
+  during disruptions and recovers quickly (Section 4.2), and
+* the sender can match essentially any target bitrate (layer subsetting plus
+  per-layer QP), so Zoom's utilization hugs the shaped capacity in Figure 1.
+
+:class:`SVCEncoder` models the hierarchy as cumulative layers; the congestion
+controller's target selects how many layers are active and how much rate the
+top active layer gets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.media.codec import CodecModel, Resolution
+from repro.media.encoder import EncodedFrame, EncoderSettings
+from repro.media.source import TalkingHeadSource
+
+__all__ = ["SVCLayer", "SVCEncoder"]
+
+import itertools
+
+_frame_ids = itertools.count(10_000_000)
+
+
+@dataclass(frozen=True)
+class SVCLayer:
+    """One layer of the SVC hierarchy.
+
+    ``cumulative_bitrate_bps`` is the total stream bitrate when this layer and
+    every layer below it are active and fully provisioned.
+    """
+
+    name: str
+    resolution: Resolution
+    fps: float
+    cumulative_bitrate_bps: float
+
+
+#: Default Zoom-like hierarchy: a small base layer that survives severe
+#: constraint, a 360p enhancement and a 720p top layer whose cumulative rate
+#: matches Zoom's measured ~0.74 Mbps nominal video rate.
+DEFAULT_ZOOM_LAYERS: tuple[SVCLayer, ...] = (
+    SVCLayer("base", Resolution(320, 180), fps=15.0, cumulative_bitrate_bps=110_000.0),
+    SVCLayer("mid", Resolution(640, 360), fps=30.0, cumulative_bitrate_bps=350_000.0),
+    SVCLayer("top", Resolution(1280, 720), fps=30.0, cumulative_bitrate_bps=740_000.0),
+)
+
+
+class SVCEncoder:
+    """Hierarchical (layered) encoder with continuous rate matching."""
+
+    def __init__(
+        self,
+        codec: CodecModel,
+        layers: tuple[SVCLayer, ...] = DEFAULT_ZOOM_LAYERS,
+        source: Optional[TalkingHeadSource] = None,
+        keyframe_interval_s: float = 10.0,
+    ) -> None:
+        if not layers:
+            raise ValueError("at least one SVC layer is required")
+        self.codec = codec
+        self.layers = tuple(sorted(layers, key=lambda l: l.cumulative_bitrate_bps))
+        self.source = source or TalkingHeadSource()
+        self.keyframe_interval_s = keyframe_interval_s
+        self._target_bps = self.layers[-1].cumulative_bitrate_bps
+        self._allocations: dict[str, float] = {}
+        self._next_frame_at: dict[str, float] = {layer.name: 0.0 for layer in self.layers}
+        self._last_emit_at: dict[str, float] = {}
+        self._keyframe_pending = True
+        self._last_keyframe_at = -1e9
+        self.set_target_bitrate(self._target_bps)
+
+    # ----------------------------------------------------------------- API
+    @property
+    def nominal_bitrate_bps(self) -> float:
+        """Total video bitrate when every layer is fully provisioned."""
+        return self.layers[-1].cumulative_bitrate_bps
+
+    @property
+    def settings(self) -> EncoderSettings:
+        """Operating point of the highest active layer (for sender stats)."""
+        top = self._top_active_layer()
+        rate = sum(self._allocations.values())
+        qp = self.codec.qp_for_bitrate(top.resolution, top.fps, max(rate, 1.0))
+        return EncoderSettings(resolution=top.resolution, fps=top.fps, qp=qp)
+
+    def active_layers(self) -> dict[str, float]:
+        """Mapping of active layer name to its allocated (incremental) bitrate."""
+        return {name: rate for name, rate in self._allocations.items() if rate > 0.0}
+
+    def layer_plan(self, target_bps: float) -> dict[str, float]:
+        """Split ``target_bps`` into per-layer incremental rates.
+
+        Layers activate in order; the highest active layer absorbs whatever
+        budget remains above the cumulative rate of the layers below it.
+        """
+        allocations: dict[str, float] = {}
+        target = max(target_bps, 0.0)
+        previous_cumulative = 0.0
+        for index, layer in enumerate(self.layers):
+            increment = layer.cumulative_bitrate_bps - previous_cumulative
+            if index == 0:
+                # Base layer always stays on, possibly below its nominal rate.
+                allocations[layer.name] = min(max(target, 60_000.0), increment)
+            elif target >= previous_cumulative + 0.5 * increment:
+                allocations[layer.name] = min(target - previous_cumulative, increment)
+            else:
+                allocations[layer.name] = 0.0
+            previous_cumulative = layer.cumulative_bitrate_bps
+        return allocations
+
+    def set_target_bitrate(self, target_bps: float) -> None:
+        """Re-plan the layer allocation for a new congestion-control target."""
+        self._target_bps = max(target_bps, 0.0)
+        self._allocations = self.layer_plan(self._target_bps)
+
+    def request_keyframe(self, layer: Optional[str] = None) -> None:
+        """Request that the next frames form a new decoder refresh point."""
+        self._keyframe_pending = True
+
+    def frames_due(self, now: float) -> list[EncodedFrame]:
+        """Encode due frames for every active layer."""
+        keyframe = self._keyframe_pending or (
+            now - self._last_keyframe_at >= self.keyframe_interval_s
+        )
+        frames: list[EncodedFrame] = []
+        complexity = self.source.complexity(now)
+        emitted_any = False
+        for layer in self.layers:
+            rate = self._allocations.get(layer.name, 0.0)
+            if rate <= 0.0:
+                continue
+            if now + 1e-9 < self._next_frame_at[layer.name]:
+                continue
+            interval = 1.0 / layer.fps
+            last_emit = self._last_emit_at.get(layer.name)
+            elapsed = now - last_emit if last_emit is not None else interval
+            # Scale the frame to the time it actually covers so the realised
+            # layer bitrate matches its allocation despite the sender's
+            # polling-grid quantisation of emission times.
+            frame_bits = rate * max(elapsed, interval * 0.5) * complexity
+            if keyframe:
+                frame_bits *= self.codec.keyframe_multiplier
+            qp = self.codec.qp_for_bitrate(layer.resolution, layer.fps, max(rate, 1.0))
+            frames.append(
+                EncodedFrame(
+                    frame_id=next(_frame_ids),
+                    capture_time=now,
+                    size_bytes=max(int(frame_bits / 8), 150),
+                    settings=EncoderSettings(resolution=layer.resolution, fps=layer.fps, qp=qp),
+                    keyframe=keyframe,
+                    layer=layer.name,
+                )
+            )
+            self._last_emit_at[layer.name] = now
+            self._next_frame_at[layer.name] = max(self._next_frame_at[layer.name] + interval, now - interval)
+            emitted_any = True
+        if emitted_any and keyframe:
+            self._keyframe_pending = False
+            self._last_keyframe_at = now
+        return frames
+
+    # ------------------------------------------------------------- helpers
+    def _top_active_layer(self) -> SVCLayer:
+        top = self.layers[0]
+        for layer in self.layers:
+            if self._allocations.get(layer.name, 0.0) > 0.0:
+                top = layer
+        return top

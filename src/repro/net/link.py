@@ -1,0 +1,190 @@
+"""Shaped link model: the emulated equivalent of ``tc`` on the access link.
+
+A :class:`Link` is unidirectional.  It models
+
+* **serialization** at the link's current rate (the rate may be changed at
+  any time by a :class:`~repro.net.shaper.LinkShaper`, which is how the
+  paper's static shaping levels and 30-second transient drops are applied),
+* a **drop-tail queue** bounded in bytes (the router's buffer),
+* fixed **propagation delay**, and
+* optional i.i.d. **random loss**.
+
+Per-link counters (:class:`LinkStats`) record everything the analysis layer
+needs: delivered/dropped packets and bytes, and a time series of queue
+occupancy samples used to diagnose bufferbloat-style behaviour in the
+competition experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+__all__ = ["Link", "LinkStats", "DEFAULT_QUEUE_BYTES"]
+
+#: Default queue size.  Roughly 64 KB, i.e. ~1 second of buffering at
+#: 0.5 Mbps and ~50 ms at 10 Mbps -- consistent with the small CPE buffers of
+#: the paper's Turris Omnia router.
+DEFAULT_QUEUE_BYTES = 64_000
+
+
+@dataclass
+class LinkStats:
+    """Aggregate counters maintained by a :class:`Link`."""
+
+    packets_sent: int = 0
+    packets_dropped: int = 0
+    packets_lost_random: int = 0
+    bytes_sent: int = 0
+    bytes_dropped: int = 0
+    queue_samples: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets dropped at the queue."""
+        offered = self.packets_sent + self.packets_dropped
+        if offered == 0:
+            return 0.0
+        return self.packets_dropped / offered
+
+
+class Link:
+    """A unidirectional, rate-limited, lossy link with a drop-tail queue.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    name:
+        Human-readable identifier, e.g. ``"c1-uplink"``.
+    rate_bps:
+        Initial capacity in bits per second.
+    delay_s:
+        One-way propagation delay in seconds.
+    queue_bytes:
+        Buffer size of the drop-tail queue.
+    loss_rate:
+        Independent random loss probability applied to packets that survive
+        the queue (models residual last-mile loss; zero by default because
+        the paper's testbed used wired links).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay_s: float = 0.005,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.name = name
+        self._rate_bps = float(rate_bps)
+        self.delay_s = float(delay_s)
+        self.queue_bytes = int(queue_bytes)
+        self.loss_rate = float(loss_rate)
+        self.stats = LinkStats()
+
+        self._queue: deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self._sink: Optional[Callable[[Packet], None]] = None
+        #: Called with a dropped packet; congestion controllers of locally
+        #: originated traffic (e.g. a sender's own uplink) may subscribe to
+        #: model immediate local loss detection, but by default losses are
+        #: only observed end-to-end.
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------ API
+    @property
+    def rate_bps(self) -> float:
+        """Current capacity in bits per second."""
+        return self._rate_bps
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link capacity (the emulated ``tc class change``)."""
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self._rate_bps = float(rate_bps)
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        """Attach the downstream consumer (next link hop or receiving host)."""
+        self._sink = sink
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes currently waiting in the queue (excludes the packet in service)."""
+        return self._queued_bytes
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of packets currently waiting in the queue."""
+        return len(self._queue)
+
+    def queueing_delay_estimate(self) -> float:
+        """Expected delay a newly arriving packet would see from the backlog."""
+        return (self._queued_bytes * 8) / self._rate_bps
+
+    # ------------------------------------------------------------ data path
+    def send(self, packet: Packet) -> None:
+        """Offer ``packet`` to the link.
+
+        The packet is dropped if the queue has no room (drop-tail); otherwise
+        it is enqueued and will be serialized at the link's current rate.
+        """
+        if self._sink is None:
+            raise RuntimeError(f"link {self.name!r} has no sink connected")
+        if self._queued_bytes + packet.size_bytes > self.queue_bytes:
+            self.stats.packets_dropped += 1
+            self.stats.bytes_dropped += packet.size_bytes
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return
+        packet.enqueued_at = self.sim.now
+        self._queue.append(packet)
+        self._queued_bytes += packet.size_bytes
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        self._queued_bytes -= packet.size_bytes
+        if packet.enqueued_at is not None:
+            packet.queueing_delay += self.sim.now - packet.enqueued_at
+        serialization = packet.size_bits / self._rate_bps
+        self.sim.schedule(serialization, lambda p=packet: self._transmit_done(p))
+
+    def _transmit_done(self, packet: Packet) -> None:
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+            self.stats.packets_lost_random += 1
+        else:
+            sink = self._sink
+            assert sink is not None
+            self.sim.schedule(self.delay_s, lambda p=packet: sink(p))
+        self._serve_next()
+
+    # ---------------------------------------------------------- monitoring
+    def sample_queue(self) -> None:
+        """Record the current queue occupancy (used by the capture layer)."""
+        self.stats.queue_samples.append((self.sim.now, self._queued_bytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name!r}, rate={self._rate_bps / 1e6:.2f} Mbps, "
+            f"queue={self._queued_bytes}/{self.queue_bytes} B)"
+        )

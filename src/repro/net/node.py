@@ -1,0 +1,92 @@
+"""End hosts of the emulated testbed.
+
+A :class:`Host` corresponds to one of the paper's machines: the VCA clients
+C1 and C2, the competing-flow machines F1 and F2, or a media/iPerf server.
+Hosts do two things:
+
+* **send** packets into the network through their egress (the first hop the
+  topology wired up for them), and
+* **receive** packets and dispatch them to the application flow they belong
+  to (looked up by ``flow_id``), the same way the kernel demultiplexes
+  sockets on the real machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+__all__ = ["Host"]
+
+
+class Host:
+    """An endpoint machine in the emulated testbed."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._egress: Optional[Callable[[Packet], None]] = None
+        self._flow_handlers: dict[str, Callable[[Packet], None]] = {}
+        self._default_handler: Optional[Callable[[Packet], None]] = None
+        #: Per-host counters mirroring ``ifconfig``-style statistics.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+        #: Optional packet capture taps (the emulated ``tcpdump``).  Each tap
+        #: is called with ("tx"|"rx", packet).
+        self.taps: list[Callable[[str, Packet], None]] = []
+
+    # ------------------------------------------------------------ wiring
+    def set_egress(self, egress: Callable[[Packet], None]) -> None:
+        """Attach the first-hop send function (done by the topology builder)."""
+        self._egress = egress
+
+    def register_flow(self, flow_id: str, handler: Callable[[Packet], None]) -> None:
+        """Register the receive handler for a flow terminating at this host."""
+        if flow_id in self._flow_handlers:
+            raise ValueError(f"flow {flow_id!r} already registered on {self.name}")
+        self._flow_handlers[flow_id] = handler
+
+    def unregister_flow(self, flow_id: str) -> None:
+        """Remove a flow handler (used when an application leaves the call)."""
+        self._flow_handlers.pop(flow_id, None)
+
+    def set_default_handler(self, handler: Callable[[Packet], None]) -> None:
+        """Handler for packets whose flow has no dedicated handler."""
+        self._default_handler = handler
+
+    # --------------------------------------------------------- data path
+    def send(self, packet: Packet) -> None:
+        """Hand a packet to the network.
+
+        ``created_at`` is only stamped if the packet does not already carry a
+        timestamp: a media server forwarding a packet keeps the original
+        capture timestamp so receivers observe *end-to-end* one-way delay,
+        exactly what the real clients' RTCP feedback reflects.
+        """
+        if self._egress is None:
+            raise RuntimeError(f"host {self.name!r} has no egress configured")
+        packet.src = self.name
+        if packet.created_at == 0.0:
+            packet.created_at = self.sim.now
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        for tap in self.taps:
+            tap("tx", packet)
+        self._egress(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Deliver a packet arriving from the network to its flow handler."""
+        self.bytes_received += packet.size_bytes
+        self.packets_received += 1
+        for tap in self.taps:
+            tap("rx", packet)
+        handler = self._flow_handlers.get(packet.flow_id, self._default_handler)
+        if handler is not None:
+            handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name!r})"

@@ -1,0 +1,121 @@
+"""Packet record used throughout the emulator.
+
+A :class:`Packet` is intentionally closer to what a passive capture (pcap)
+would record than to a full protocol implementation: the measurement study
+only ever looks at packet sizes, directions, timestamps and the flow they
+belong to.  Media- and transport-specific metadata (RTP sequence numbers,
+frame identifiers, TCP sequence numbers, FEC group membership) travels in
+typed fields so the capture/analysis layer can compute the same statistics
+the paper derives from traffic captures and WebRTC stats.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+__all__ = ["Packet", "PacketKind", "RTP_HEADER_BYTES", "UDP_IP_HEADER_BYTES", "TCP_IP_HEADER_BYTES"]
+
+#: Bytes of RTP header carried by every media packet (12-byte RTP header plus
+#: the extensions VCAs commonly negotiate, e.g. transport-wide sequence
+#: numbers and audio level).
+RTP_HEADER_BYTES = 20
+
+#: IPv4 + UDP header overhead.
+UDP_IP_HEADER_BYTES = 28
+
+#: IPv4 + TCP header overhead (no options).
+TCP_IP_HEADER_BYTES = 40
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(str, Enum):
+    """Coarse classification of emulated packets.
+
+    The classification mirrors how the paper's analysis splits captured
+    traffic: RTP media (audio vs video), RTCP control traffic, FEC repair
+    data, and bulk TCP/QUIC traffic from competing applications.
+    """
+
+    RTP_VIDEO = "rtp_video"
+    RTP_AUDIO = "rtp_audio"
+    RTCP = "rtcp"
+    FEC = "fec"
+    SIGNALING = "signaling"
+    TCP_DATA = "tcp_data"
+    TCP_ACK = "tcp_ack"
+    QUIC_DATA = "quic_data"
+    QUIC_ACK = "quic_ack"
+
+
+@dataclass
+class Packet:
+    """A single packet traversing the emulated network.
+
+    Attributes
+    ----------
+    size_bytes:
+        On-the-wire size including transport/IP headers; this is the number
+        every utilization metric in the paper is computed from.
+    flow_id:
+        Identifier of the application flow the packet belongs to, e.g.
+        ``"zoom-c1-video-up"`` or ``"iperf-f1"``.  The capture layer groups
+        bitrate time series by flow id.
+    src / dst:
+        Names of the sending and receiving hosts.
+    kind:
+        A :class:`PacketKind` value.
+    seq:
+        Transport-level sequence number (RTP sequence or TCP segment index).
+    created_at:
+        Simulation time at which the sender handed the packet to the network.
+    meta:
+        Free-form per-packet metadata (frame id, simulcast layer, SVC layer,
+        FEC group, TCP byte range ...).
+    """
+
+    size_bytes: int
+    flow_id: str
+    src: str
+    dst: str
+    kind: PacketKind = PacketKind.RTP_VIDEO
+    seq: int = 0
+    created_at: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Time the packet was enqueued on the most recent link (set by Link).
+    enqueued_at: Optional[float] = None
+    #: Cumulative queueing delay experienced so far along the path.
+    queueing_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+
+    @property
+    def size_bits(self) -> int:
+        """Size in bits, used for serialization-time computation."""
+        return self.size_bytes * 8
+
+    def copy_for_forwarding(self, *, src: str, dst: str, flow_id: Optional[str] = None) -> "Packet":
+        """Clone the packet as a relay/SFU would when forwarding it.
+
+        The clone keeps the media metadata (frame ids, layers, sequence
+        numbers) but gets fresh addressing and, optionally, a new flow id so
+        upstream and downstream legs can be measured independently -- exactly
+        how the paper distinguishes C2's sent traffic from C1's received
+        traffic when diagnosing relay-added FEC.
+        """
+        return Packet(
+            size_bytes=self.size_bytes,
+            flow_id=flow_id if flow_id is not None else self.flow_id,
+            src=src,
+            dst=dst,
+            kind=self.kind,
+            seq=self.seq,
+            created_at=self.created_at,
+            meta=dict(self.meta),
+        )

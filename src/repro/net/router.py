@@ -1,0 +1,90 @@
+"""Packet forwarding elements: the emulated home router, switch and WAN core.
+
+The paper's findings are entirely driven by the *shaped access link*; every
+other hop in their testbed (the campus network, the VCA provider's data
+centre) is effectively unconstrained.  The :class:`Router` therefore supports
+two kinds of forwarding entries:
+
+* a **link route**, which hands the packet to a :class:`~repro.net.link.Link`
+  (used for the shaped access / bottleneck links where queueing matters), and
+* a **delay route**, which delivers the packet to the next node after a fixed
+  propagation delay without serialization or queueing (used for the
+  unconstrained WAN path, keeping the event count low so large parameter
+  sweeps stay fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+
+__all__ = ["Router", "ForwardingEntry"]
+
+
+@dataclass
+class ForwardingEntry:
+    """One routing-table entry: either a link hop or a pure-delay hop."""
+
+    link: Optional[Link] = None
+    next_hop: Optional[Callable[[Packet], None]] = None
+    delay_s: float = 0.0
+
+    def forward(self, sim: Simulator, packet: Packet) -> None:
+        if self.link is not None:
+            self.link.send(packet)
+            return
+        assert self.next_hop is not None
+        if self.delay_s > 0:
+            sim.schedule(self.delay_s, lambda p=packet: self.next_hop(p))  # type: ignore[misc]
+        else:
+            self.next_hop(packet)
+
+
+class Router:
+    """A forwarding element with a destination-keyed routing table."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._routes: dict[str, ForwardingEntry] = {}
+        self._default: Optional[ForwardingEntry] = None
+        self.packets_forwarded = 0
+
+    # ----------------------------------------------------------- config
+    def add_link_route(self, dst: str, link: Link) -> None:
+        """Route packets destined to ``dst`` onto ``link``."""
+        self._routes[dst] = ForwardingEntry(link=link)
+
+    def add_delay_route(
+        self, dst: str, receiver: Callable[[Packet], None], delay_s: float = 0.0
+    ) -> None:
+        """Route packets destined to ``dst`` straight to ``receiver`` after a delay."""
+        self._routes[dst] = ForwardingEntry(next_hop=receiver, delay_s=delay_s)
+
+    def set_default_link(self, link: Link) -> None:
+        """Default route over a link (e.g. 'everything else goes upstream')."""
+        self._default = ForwardingEntry(link=link)
+
+    def set_default_delay_route(
+        self, receiver: Callable[[Packet], None], delay_s: float = 0.0
+    ) -> None:
+        """Default route delivered after a fixed delay."""
+        self._default = ForwardingEntry(next_hop=receiver, delay_s=delay_s)
+
+    # --------------------------------------------------------- data path
+    def receive(self, packet: Packet) -> None:
+        """Forward a packet according to the routing table."""
+        entry = self._routes.get(packet.dst, self._default)
+        if entry is None:
+            raise RuntimeError(
+                f"router {self.name!r} has no route for destination {packet.dst!r}"
+            )
+        self.packets_forwarded += 1
+        entry.forward(self.sim, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Router({self.name!r}, routes={sorted(self._routes)})"

@@ -1,0 +1,137 @@
+"""Time-varying bandwidth control -- the emulated ``tc`` command sequence.
+
+The paper applies three kinds of shaping:
+
+* **static shaping** for the capacity sweeps of Section 3
+  (``{0.3, 0.4, ..., 1.5, 2, 5, 10}`` Mbps),
+* **transient disruptions** for Section 4 (one minute into the call the
+  capacity drops to ``{0.25, 0.5, 0.75, 1.0}`` Mbps for 30 seconds and then
+  returns to 1 Gbps), and
+* an unconstrained 1 Gbps profile.
+
+:class:`BandwidthProfile` describes a piecewise-constant capacity over time;
+:class:`LinkShaper` applies a profile to a :class:`~repro.net.link.Link` by
+scheduling ``set_rate`` calls on the simulator, exactly the way the authors'
+scripts invoked ``tc`` at pre-planned times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.net.link import Link
+from repro.net.simulator import Simulator
+
+__all__ = ["BandwidthProfile", "LinkShaper", "UNCONSTRAINED_BPS"]
+
+#: The paper's unconstrained access link: 1 Gbps symmetric fibre.
+UNCONSTRAINED_BPS = 1_000_000_000.0
+
+
+@dataclass(frozen=True)
+class BandwidthProfile:
+    """A piecewise-constant capacity schedule.
+
+    ``steps`` is a sequence of ``(start_time_s, rate_bps)`` pairs sorted by
+    start time.  The capacity before the first step is ``initial_bps``.
+    """
+
+    initial_bps: float = UNCONSTRAINED_BPS
+    steps: tuple[tuple[float, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.initial_bps <= 0:
+            raise ValueError("initial capacity must be positive")
+        previous = -1.0
+        for start, rate in self.steps:
+            if rate <= 0:
+                raise ValueError("capacities must be positive")
+            if start < 0:
+                raise ValueError("step times must be non-negative")
+            if start <= previous:
+                raise ValueError("step times must be strictly increasing")
+            previous = start
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def constant(cls, rate_bps: float) -> "BandwidthProfile":
+        """A static shaping level held for the whole experiment."""
+        return cls(initial_bps=rate_bps)
+
+    @classmethod
+    def unconstrained(cls) -> "BandwidthProfile":
+        """The 1 Gbps baseline profile."""
+        return cls(initial_bps=UNCONSTRAINED_BPS)
+
+    @classmethod
+    def disruption(
+        cls,
+        drop_to_bps: float,
+        drop_at_s: float = 60.0,
+        duration_s: float = 30.0,
+        baseline_bps: float = UNCONSTRAINED_BPS,
+    ) -> "BandwidthProfile":
+        """The Section 4 transient-disruption profile.
+
+        The capacity starts at ``baseline_bps``, drops to ``drop_to_bps`` at
+        ``drop_at_s`` and is restored ``duration_s`` seconds later.
+        """
+        return cls(
+            initial_bps=baseline_bps,
+            steps=((drop_at_s, drop_to_bps), (drop_at_s + duration_s, baseline_bps)),
+        )
+
+    @classmethod
+    def from_segments(cls, segments: Iterable[tuple[float, float]]) -> "BandwidthProfile":
+        """Build a profile from ``(start_time, rate_bps)`` segments.
+
+        The first segment must start at time zero and provides the initial
+        capacity.
+        """
+        items: Sequence[tuple[float, float]] = tuple(segments)
+        if not items:
+            raise ValueError("at least one segment is required")
+        first_start, first_rate = items[0]
+        if first_start != 0.0:
+            raise ValueError("the first segment must start at time 0")
+        return cls(initial_bps=first_rate, steps=tuple(items[1:]))
+
+    # ------------------------------------------------------------- queries
+    def rate_at(self, time_s: float) -> float:
+        """Capacity in effect at simulation time ``time_s``."""
+        rate = self.initial_bps
+        for start, step_rate in self.steps:
+            if time_s >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+    def change_times(self) -> list[float]:
+        """Times at which the capacity changes."""
+        return [start for start, _ in self.steps]
+
+
+class LinkShaper:
+    """Applies a :class:`BandwidthProfile` to a link.
+
+    The shaper is the emulation of the experiment scripts calling ``tc`` on
+    the router at scheduled times: it sets the link's initial rate
+    immediately and schedules one rate change per profile step.
+    """
+
+    def __init__(self, sim: Simulator, link: Link, profile: BandwidthProfile) -> None:
+        self.sim = sim
+        self.link = link
+        self.profile = profile
+        self._applied = False
+
+    def apply(self) -> None:
+        """Set the initial rate and schedule all future changes."""
+        if self._applied:
+            raise RuntimeError("profile already applied to this link")
+        self._applied = True
+        self.link.set_rate(self.profile.rate_at(self.sim.now))
+        for start, rate in self.profile.steps:
+            self.sim.schedule_at(start, lambda r=rate: self.link.set_rate(r))

@@ -1,0 +1,235 @@
+"""Canonical emulated topologies used by the paper's experiments.
+
+Two layouts cover every experiment in the paper (see Figure 7 of the paper):
+
+* **Access topology** -- a single measured client (``C1``) sits behind a
+  shaped access link to its home router; every other participant (``C2``,
+  ``C3`` ... and the VCA media server) is reachable over an unconstrained WAN
+  path.  This is the layout of the static-shaping (Section 3), disruption
+  (Section 4) and call-modality (Section 6) experiments.
+
+* **Competition topology** -- the measured client ``C1`` and the
+  competing-flow client ``F1`` share a switch; the switch--router link is the
+  shaped bottleneck.  Their counterparties (``C2``, ``F2``, iPerf/CDN
+  servers) are unconstrained.  This is the layout of the Section 5
+  competition experiments.
+
+Only the shaped links are modelled with queues and serialization; the
+unconstrained WAN path is a pure propagation delay, which keeps event counts
+low enough for full parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.net.link import DEFAULT_QUEUE_BYTES, Link
+from repro.net.node import Host
+from repro.net.router import Router
+from repro.net.shaper import UNCONSTRAINED_BPS, BandwidthProfile, LinkShaper
+from repro.net.simulator import Simulator
+
+__all__ = [
+    "AccessTopology",
+    "CompetitionTopology",
+    "build_access_topology",
+    "build_competition_topology",
+]
+
+#: One-way propagation delay between a home router and the VCA media server.
+DEFAULT_WAN_DELAY_S = 0.012
+
+#: One-way propagation delay of the (wired) access link itself.
+DEFAULT_ACCESS_DELAY_S = 0.002
+
+#: One-way delay between hosts on the same local network (iPerf server case;
+#: the paper reports a 2 ms RTT to its iPerf3 server).
+DEFAULT_LAN_DELAY_S = 0.001
+
+
+@dataclass
+class AccessTopology:
+    """Topology with a single shaped access link in front of ``C1``."""
+
+    sim: Simulator
+    hosts: dict[str, Host]
+    router: Router
+    core: Router
+    uplink: Link
+    downlink: Link
+    measured_client: str
+    server_name: str
+    shapers: list[LinkShaper] = field(default_factory=list)
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self.hosts[name]
+
+    def shape(
+        self,
+        up_profile: Optional[BandwidthProfile] = None,
+        down_profile: Optional[BandwidthProfile] = None,
+    ) -> None:
+        """Apply bandwidth profiles to the measured client's access link."""
+        if up_profile is not None:
+            shaper = LinkShaper(self.sim, self.uplink, up_profile)
+            shaper.apply()
+            self.shapers.append(shaper)
+        if down_profile is not None:
+            shaper = LinkShaper(self.sim, self.downlink, down_profile)
+            shaper.apply()
+            self.shapers.append(shaper)
+
+
+@dataclass
+class CompetitionTopology:
+    """Topology where ``C1`` and ``F1`` share a shaped bottleneck link."""
+
+    sim: Simulator
+    hosts: dict[str, Host]
+    switch: Router
+    router: Router
+    core: Router
+    bottleneck_up: Link
+    bottleneck_down: Link
+    local_clients: tuple[str, ...]
+    shapers: list[LinkShaper] = field(default_factory=list)
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self.hosts[name]
+
+    def shape(
+        self,
+        up_profile: Optional[BandwidthProfile] = None,
+        down_profile: Optional[BandwidthProfile] = None,
+    ) -> None:
+        """Apply bandwidth profiles to the shared bottleneck link."""
+        if up_profile is not None:
+            shaper = LinkShaper(self.sim, self.bottleneck_up, up_profile)
+            shaper.apply()
+            self.shapers.append(shaper)
+        if down_profile is not None:
+            shaper = LinkShaper(self.sim, self.bottleneck_down, down_profile)
+            shaper.apply()
+            self.shapers.append(shaper)
+
+
+def build_access_topology(
+    sim: Simulator,
+    client_names: Sequence[str] = ("C1", "C2"),
+    server_name: str = "S",
+    extra_server_names: Iterable[str] = (),
+    wan_delay_s: float = DEFAULT_WAN_DELAY_S,
+    access_delay_s: float = DEFAULT_ACCESS_DELAY_S,
+    queue_bytes: int = DEFAULT_QUEUE_BYTES,
+) -> AccessTopology:
+    """Build the single-shaped-client topology.
+
+    ``client_names[0]`` is the measured client (the paper's C1): it sits
+    behind the shaped access link.  All other clients and all servers are
+    reachable over unconstrained, delay-only paths.
+    """
+    if not client_names:
+        raise ValueError("at least one client is required")
+    measured = client_names[0]
+    hosts: dict[str, Host] = {}
+
+    core = Router(sim, "core")
+    home_router = Router(sim, f"router-{measured}")
+
+    # Measured client behind the shaped access link.
+    c1 = Host(sim, measured)
+    hosts[measured] = c1
+    uplink = Link(sim, f"{measured}-uplink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes)
+    downlink = Link(sim, f"{measured}-downlink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes)
+    uplink.connect(home_router.receive)
+    downlink.connect(c1.receive)
+    c1.set_egress(uplink.send)
+    home_router.add_link_route(measured, downlink)
+    home_router.set_default_delay_route(core.receive, wan_delay_s)
+    core.add_delay_route(measured, home_router.receive, wan_delay_s)
+
+    # Remaining clients: unconstrained, one WAN hop away from the core.
+    for name in client_names[1:]:
+        host = Host(sim, name)
+        hosts[name] = host
+        host.set_egress(lambda p, _core=core: sim.schedule(wan_delay_s, lambda pkt=p: _core.receive(pkt)))
+        core.add_delay_route(name, host.receive, wan_delay_s)
+
+    # Media server(s): co-located with the core (provider data centre).
+    for name in (server_name, *extra_server_names):
+        server = Host(sim, name)
+        hosts[name] = server
+        server.set_egress(lambda p, _core=core: sim.schedule(DEFAULT_LAN_DELAY_S, lambda pkt=p: _core.receive(pkt)))
+        core.add_delay_route(name, server.receive, DEFAULT_LAN_DELAY_S)
+
+    return AccessTopology(
+        sim=sim,
+        hosts=hosts,
+        router=home_router,
+        core=core,
+        uplink=uplink,
+        downlink=downlink,
+        measured_client=measured,
+        server_name=server_name,
+    )
+
+
+def build_competition_topology(
+    sim: Simulator,
+    local_clients: Sequence[str] = ("C1", "F1"),
+    remote_names: Sequence[str] = ("C2", "F2", "S1", "S2"),
+    wan_delay_s: float = DEFAULT_WAN_DELAY_S,
+    lan_delay_s: float = DEFAULT_LAN_DELAY_S,
+    queue_bytes: int = DEFAULT_QUEUE_BYTES,
+) -> CompetitionTopology:
+    """Build the shared-bottleneck topology of the competition experiments.
+
+    ``local_clients`` (typically C1 and F1) hang off a switch; the
+    switch--router link is the shared bottleneck whose capacity is set with
+    :meth:`CompetitionTopology.shape`.  ``remote_names`` are counterparties
+    and servers reachable over the unconstrained WAN.
+    """
+    hosts: dict[str, Host] = {}
+    switch = Router(sim, "switch")
+    router = Router(sim, "router")
+    core = Router(sim, "core")
+
+    bottleneck_up = Link(sim, "bottleneck-up", UNCONSTRAINED_BPS, DEFAULT_ACCESS_DELAY_S, queue_bytes)
+    bottleneck_down = Link(sim, "bottleneck-down", UNCONSTRAINED_BPS, DEFAULT_ACCESS_DELAY_S, queue_bytes)
+    bottleneck_up.connect(router.receive)
+    bottleneck_down.connect(switch.receive)
+
+    for name in local_clients:
+        host = Host(sim, name)
+        hosts[name] = host
+        host.set_egress(
+            lambda p, _switch=switch: sim.schedule(lan_delay_s, lambda pkt=p: _switch.receive(pkt))
+        )
+        switch.add_delay_route(name, host.receive, lan_delay_s)
+        router.add_link_route(name, bottleneck_down)
+
+    switch.set_default_link(bottleneck_up)
+    router.set_default_delay_route(core.receive, wan_delay_s)
+
+    for name in remote_names:
+        host = Host(sim, name)
+        hosts[name] = host
+        host.set_egress(lambda p, _core=core: sim.schedule(lan_delay_s, lambda pkt=p: _core.receive(pkt)))
+        core.add_delay_route(name, host.receive, lan_delay_s)
+
+    for name in local_clients:
+        core.add_delay_route(name, router.receive, wan_delay_s)
+
+    return CompetitionTopology(
+        sim=sim,
+        hosts=hosts,
+        switch=switch,
+        router=router,
+        core=core,
+        bottleneck_up=bottleneck_up,
+        bottleneck_down=bottleneck_down,
+        local_clients=tuple(local_clients),
+    )

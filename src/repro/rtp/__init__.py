@@ -1,0 +1,40 @@
+"""Real-time transport substrate.
+
+Implements the transport machinery every VCA model is built on: RTP
+packetization of encoded frames, RTCP feedback (receiver reports, Full Intra
+Requests), receive-side statistics (loss, delay, jitter, frame reassembly and
+freeze detection), forward error correction, and a minimal SIP-style
+signalling layer used by the call orchestrator.
+"""
+
+from repro.rtp.fec import FecGenerator
+from repro.rtp.packetizer import DEFAULT_MTU_BYTES, Packetizer, make_audio_packet
+from repro.rtp.rtcp import (
+    extract_report,
+    is_fir,
+    is_report,
+    make_fir_packet,
+    make_report_packet,
+)
+from repro.rtp.jitter import ReceiverConfig, StreamReceiver
+from repro.rtp.session import RtpStreamSender, SenderConfig
+from repro.rtp.sip import SignalingMessage, SignalKind, send_signal
+
+__all__ = [
+    "Packetizer",
+    "make_audio_packet",
+    "DEFAULT_MTU_BYTES",
+    "make_report_packet",
+    "make_fir_packet",
+    "extract_report",
+    "is_report",
+    "is_fir",
+    "StreamReceiver",
+    "ReceiverConfig",
+    "RtpStreamSender",
+    "SenderConfig",
+    "FecGenerator",
+    "SignalingMessage",
+    "SignalKind",
+    "send_signal",
+]

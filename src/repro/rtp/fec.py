@@ -1,0 +1,66 @@
+"""Forward error correction traffic.
+
+Zoom protects its media with FEC both at the sender and -- according to the
+patent the paper cites -- at the relay server, which regenerates repair data
+for the downstream leg.  Two measured phenomena follow:
+
+* downstream utilization exceeding upstream utilization for Zoom (Table 2),
+  because the relay adds repair packets on the way down, and
+* the redundancy-based probing behaviour modelled by
+  :class:`~repro.cc.fbra.FBRAController`, which temporarily inflates the
+  send rate with repair data to test for headroom.
+
+:class:`FecGenerator` produces the repair packets for a group of media
+packets; recovery bookkeeping (whether enough repair packets arrived to mask
+a loss) is handled by the receiver in :mod:`repro.rtp.jitter`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.net.packet import RTP_HEADER_BYTES, UDP_IP_HEADER_BYTES, Packet, PacketKind
+
+__all__ = ["FecGenerator"]
+
+
+@dataclass
+class FecGenerator:
+    """Generates XOR-style repair packets covering groups of media packets."""
+
+    flow_id: str
+    src: str
+    dst: str
+    _group_ids: itertools.count = field(default_factory=lambda: itertools.count(1), repr=False)
+    _seq: itertools.count = field(default_factory=lambda: itertools.count(1_000_000), repr=False)
+
+    def protect(self, media_packets: list[Packet], ratio: float, now: float) -> list[Packet]:
+        """Produce repair packets for ``media_packets``.
+
+        ``ratio`` is the repair overhead as a fraction of the media packet
+        count (e.g. 0.2 adds one repair packet for every five media packets).
+        Repair packets are sized like the average media packet so the byte
+        overhead matches the packet overhead.
+        """
+        if ratio <= 0.0 or not media_packets:
+            return []
+        count = max(int(math.ceil(len(media_packets) * ratio)), 1)
+        group = next(self._group_ids)
+        mean_size = sum(p.size_bytes for p in media_packets) / len(media_packets)
+        size = max(int(mean_size), RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES + 64)
+        covered = [p.seq for p in media_packets]
+        return [
+            Packet(
+                size_bytes=size,
+                flow_id=self.flow_id,
+                src=self.src,
+                dst=self.dst,
+                kind=PacketKind.FEC,
+                seq=next(self._seq),
+                created_at=now,
+                meta={"fec_group": group, "covers": covered, "repair_index": index},
+            )
+            for index in range(count)
+        ]

@@ -1,0 +1,260 @@
+"""Receive-side stream processing: reassembly, loss, delay and freezes.
+
+:class:`StreamReceiver` is the emulated counterpart of the WebRTC receive
+pipeline whose statistics the paper scrapes: it reassembles frames from RTP
+fragments, tracks packet loss and one-way delay (the congestion-control
+signals), detects undecodable situations and issues Full Intra Requests, and
+feeds displayed-frame times into the freeze detector of
+:mod:`repro.media.quality`.
+
+A single :class:`StreamReceiver` handles one inbound media flow; VCA clients
+instantiate one per remote participant, and media servers instantiate one per
+uplink stream they terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cc.base import FeedbackReport
+from repro.media.quality import FreezeTracker
+from repro.net.packet import Packet, PacketKind
+from repro.net.simulator import Simulator
+
+__all__ = ["ReceiverConfig", "StreamReceiver"]
+
+
+@dataclass
+class ReceiverConfig:
+    """Tunables of the receive pipeline."""
+
+    #: Consecutive undecodable (lost) frames that trigger a Full Intra Request.
+    fir_loss_threshold: int = 3
+    #: Minimum spacing between FIRs for the same stream.
+    fir_min_interval_s: float = 1.0
+    #: How long to wait for missing fragments before declaring a frame lost.
+    frame_timeout_s: float = 0.4
+    #: EWMA weight for the smoothed one-way delay.
+    delay_smoothing: float = 0.1
+
+
+@dataclass
+class _PendingFrame:
+    frame_id: int
+    fragments_expected: int
+    fragments_received: int = 0
+    keyframe: bool = False
+    first_arrival: float = 0.0
+    completed: bool = False
+
+
+class StreamReceiver:
+    """Receive-side state for one inbound RTP media stream."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        config: Optional[ReceiverConfig] = None,
+        on_fir: Optional[Callable[[str], None]] = None,
+        track_quality: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.config = config or ReceiverConfig()
+        self.on_fir = on_fir
+        self.freeze_tracker = FreezeTracker() if track_quality else None
+
+        # Interval (per-report) accounting.
+        self._interval_bytes = 0
+        self._interval_video_packets = 0
+        self._interval_started_at = 0.0
+        self._prev_highest_seq: Optional[int] = None
+        self._highest_seq: Optional[int] = None
+        #: EWMA of the per-interval receive rate; frame boundaries make the
+        #: raw per-interval rate noisy, and congestion controllers key their
+        #: backoff on it (real GCC smooths its incoming-bitrate estimate the
+        #: same way).
+        self._smoothed_rate_bps: Optional[float] = None
+
+        # Delay tracking.
+        self._base_owd: Optional[float] = None
+        self._smoothed_owd: Optional[float] = None
+        self._prev_report_owd: Optional[float] = None
+
+        # Frame reassembly.
+        self._pending: dict[int, _PendingFrame] = {}
+        self._last_completed_frame = 0
+        self._consecutive_lost_frames = 0
+        self._last_fir_at = -1e9
+
+        # FEC recovery credits: repair packets received since the last loss.
+        self._fec_credits = 0
+
+        # Lifetime statistics.
+        self.total_bytes = 0
+        self.total_video_packets = 0
+        self.total_frames = 0
+        self.lost_frames = 0
+        self.fir_sent = 0
+        self._frames_this_second = 0
+        self._last_settings: dict[str, float] = {}
+
+    # --------------------------------------------------------------- ingest
+    def on_packet(self, packet: Packet) -> None:
+        """Process one arriving packet of this stream."""
+        now = self.sim.now
+        self.total_bytes += packet.size_bytes
+        self._interval_bytes += packet.size_bytes
+
+        if packet.kind is PacketKind.FEC:
+            self._fec_credits += 1
+            return
+        if packet.kind is PacketKind.RTP_AUDIO:
+            return
+        if packet.kind is not PacketKind.RTP_VIDEO:
+            return
+
+        self.total_video_packets += 1
+        self._interval_video_packets += 1
+
+        # Sequence tracking for loss estimation.
+        if self._highest_seq is None or packet.seq > self._highest_seq:
+            self._highest_seq = packet.seq
+        if self._prev_highest_seq is None:
+            self._prev_highest_seq = packet.seq - 1
+
+        # One-way delay tracking (the emulated clocks are synchronised).
+        owd = max(now - packet.created_at, 0.0)
+        if self._base_owd is None or owd < self._base_owd:
+            self._base_owd = owd
+        if self._smoothed_owd is None:
+            self._smoothed_owd = owd
+        else:
+            w = self.config.delay_smoothing
+            self._smoothed_owd = (1 - w) * self._smoothed_owd + w * owd
+
+        self._ingest_fragment(packet, now)
+        self._expire_stale_frames(now)
+
+    def _ingest_fragment(self, packet: Packet, now: float) -> None:
+        frame_id = packet.meta.get("frame_id")
+        if frame_id is None:
+            return
+        pending = self._pending.get(frame_id)
+        if pending is None:
+            pending = _PendingFrame(
+                frame_id=frame_id,
+                fragments_expected=int(packet.meta.get("frag_count", 1)),
+                keyframe=bool(packet.meta.get("keyframe", False)),
+                first_arrival=now,
+            )
+            self._pending[frame_id] = pending
+        pending.fragments_received += 1
+        if pending.fragments_received >= pending.fragments_expected and not pending.completed:
+            pending.completed = True
+            self._on_frame_complete(packet, now)
+            del self._pending[frame_id]
+
+    def _on_frame_complete(self, packet: Packet, now: float) -> None:
+        self.total_frames += 1
+        self._frames_this_second += 1
+        self._consecutive_lost_frames = 0
+        self._last_completed_frame = max(self._last_completed_frame, packet.meta["frame_id"])
+        self._last_settings = {
+            "width": packet.meta.get("width", 0),
+            "fps": packet.meta.get("fps", 0.0),
+            "qp": packet.meta.get("qp", 0.0),
+        }
+        if self.freeze_tracker is not None:
+            self.freeze_tracker.on_frame(now)
+
+    def _expire_stale_frames(self, now: float) -> None:
+        timeout = self.config.frame_timeout_s
+        stale = [
+            frame
+            for frame in self._pending.values()
+            if now - frame.first_arrival > timeout and not frame.completed
+        ]
+        for frame in stale:
+            del self._pending[frame.frame_id]
+            missing = frame.fragments_expected - frame.fragments_received
+            if self._fec_credits >= missing > 0:
+                # Enough repair data arrived to reconstruct the frame.
+                self._fec_credits -= missing
+                self._on_frame_complete_from_recovery(frame, now)
+                continue
+            self.lost_frames += 1
+            self._consecutive_lost_frames += 1
+            should_fir = frame.keyframe or (
+                self._consecutive_lost_frames >= self.config.fir_loss_threshold
+            )
+            if should_fir and now - self._last_fir_at >= self.config.fir_min_interval_s:
+                self._last_fir_at = now
+                self.fir_sent += 1
+                self._consecutive_lost_frames = 0
+                if self.on_fir is not None:
+                    self.on_fir(self.flow_id)
+
+    def _on_frame_complete_from_recovery(self, frame: _PendingFrame, now: float) -> None:
+        self.total_frames += 1
+        self._frames_this_second += 1
+        self._consecutive_lost_frames = 0
+        if self.freeze_tracker is not None:
+            self.freeze_tracker.on_frame(now)
+
+    # -------------------------------------------------------------- reports
+    def make_report(self, now: float, rtt_s: float = 0.05) -> FeedbackReport:
+        """Summarise the interval since the previous report and reset it."""
+        interval = max(now - self._interval_started_at, 1e-6)
+        expected = 0
+        if self._highest_seq is not None and self._prev_highest_seq is not None:
+            expected = max(self._highest_seq - self._prev_highest_seq, 0)
+        received = self._interval_video_packets
+        loss = 0.0
+        if expected > 0:
+            loss = min(max(1.0 - received / expected, 0.0), 1.0)
+        queueing = 0.0
+        gradient = 0.0
+        if self._smoothed_owd is not None and self._base_owd is not None:
+            queueing = max(self._smoothed_owd - self._base_owd, 0.0)
+            if self._prev_report_owd is not None:
+                gradient = self._smoothed_owd - self._prev_report_owd
+            self._prev_report_owd = self._smoothed_owd
+
+        instantaneous_rate = self._interval_bytes * 8 / interval
+        if self._smoothed_rate_bps is None:
+            self._smoothed_rate_bps = instantaneous_rate
+        else:
+            self._smoothed_rate_bps = 0.5 * self._smoothed_rate_bps + 0.5 * instantaneous_rate
+
+        report = FeedbackReport(
+            timestamp=now,
+            interval_s=interval,
+            receive_rate_bps=self._smoothed_rate_bps,
+            loss_fraction=loss,
+            queueing_delay_s=queueing,
+            delay_gradient_s=gradient,
+            rtt_s=rtt_s,
+            packets_expected=expected,
+            packets_received=received,
+        )
+
+        self._interval_started_at = now
+        self._interval_bytes = 0
+        self._interval_video_packets = 0
+        self._prev_highest_seq = self._highest_seq
+        return report
+
+    # ---------------------------------------------------------------- stats
+    def sample_received_fps(self) -> int:
+        """Frames displayed since the previous call (per-second sampler hook)."""
+        frames = self._frames_this_second
+        self._frames_this_second = 0
+        return frames
+
+    @property
+    def received_settings(self) -> dict[str, float]:
+        """Encoding parameters of the most recently received frame."""
+        return dict(self._last_settings)

@@ -1,0 +1,90 @@
+"""RTP packetization of encoded media.
+
+Encoded frames larger than the path MTU are fragmented into multiple RTP
+packets; every packet carries the frame id, its fragment index and the total
+fragment count so the receiver can reassemble frames and detect losses the
+way the paper's analysis does from packet captures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.net.packet import RTP_HEADER_BYTES, UDP_IP_HEADER_BYTES, Packet, PacketKind
+from repro.media.encoder import EncodedFrame
+
+__all__ = ["DEFAULT_MTU_BYTES", "Packetizer", "make_audio_packet"]
+
+#: Maximum RTP payload per packet.  1200 bytes is the de-facto WebRTC value
+#: (it keeps the full packet under the common 1500-byte Ethernet MTU after
+#: adding RTP/UDP/IP and potential tunnelling overhead).
+DEFAULT_MTU_BYTES = 1200
+
+#: Size of one (bundled) audio packet: the VCA audio streams the paper
+#: captures run at roughly 30-45 kbps.
+AUDIO_PACKET_PAYLOAD_BYTES = 300
+
+
+@dataclass
+class Packetizer:
+    """Fragments encoded frames into RTP packets for one outgoing stream."""
+
+    flow_id: str
+    src: str
+    dst: str
+    mtu_bytes: int = DEFAULT_MTU_BYTES
+    _seq: itertools.count = field(default_factory=lambda: itertools.count(1), repr=False)
+
+    def next_seq(self) -> int:
+        """Allocate the next RTP sequence number of this stream."""
+        return next(self._seq)
+
+    def packetize(self, frame: EncodedFrame, now: float) -> list[Packet]:
+        """Split ``frame`` into RTP packets ready to hand to the host."""
+        payload = max(frame.size_bytes, 1)
+        fragments = max(math.ceil(payload / self.mtu_bytes), 1)
+        base_size = payload // fragments
+        remainder = payload - base_size * fragments
+        packets: list[Packet] = []
+        for index in range(fragments):
+            fragment_payload = base_size + (1 if index < remainder else 0)
+            size = fragment_payload + RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES
+            packets.append(
+                Packet(
+                    size_bytes=size,
+                    flow_id=self.flow_id,
+                    src=self.src,
+                    dst=self.dst,
+                    kind=PacketKind.RTP_VIDEO,
+                    seq=self.next_seq(),
+                    created_at=now,
+                    meta={
+                        "frame_id": frame.frame_id,
+                        "frag_index": index,
+                        "frag_count": fragments,
+                        "keyframe": frame.keyframe,
+                        "layer": frame.layer,
+                        "width": frame.settings.width,
+                        "fps": frame.settings.fps,
+                        "qp": frame.settings.qp,
+                        "capture_time": frame.capture_time,
+                    },
+                )
+            )
+        return packets
+
+
+def make_audio_packet(flow_id: str, src: str, dst: str, seq: int, now: float) -> Packet:
+    """Build one bundled audio packet (~300 bytes of payload)."""
+    return Packet(
+        size_bytes=AUDIO_PACKET_PAYLOAD_BYTES + RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES,
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        kind=PacketKind.RTP_AUDIO,
+        seq=seq,
+        created_at=now,
+        meta={"audio": True},
+    )

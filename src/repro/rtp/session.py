@@ -1,0 +1,190 @@
+"""Sender side of an RTP media session.
+
+:class:`RtpStreamSender` ties together an encoder (single-stream, simulcast
+or SVC -- anything exposing ``frames_due`` / ``set_target_bitrate`` /
+``request_keyframe``), a congestion controller, a packetizer, an optional
+FEC generator, and the host it sends from.  It is the per-participant
+"uplink" of a VCA call; the application model (``repro.vca``) wires its
+RTCP feedback path and decides where the stream terminates (media server or
+remote client).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from repro.cc.base import FeedbackReport, RateController
+from repro.media.encoder import EncodedFrame, EncoderSettings
+from repro.net.node import Host
+from repro.net.packet import Packet
+from repro.net.simulator import PeriodicTask, Simulator
+from repro.rtp.fec import FecGenerator
+from repro.rtp.packetizer import DEFAULT_MTU_BYTES, Packetizer, make_audio_packet
+from repro.rtp.rtcp import extract_report, is_fir
+
+__all__ = ["SenderConfig", "RtpStreamSender", "MediaEncoder"]
+
+
+class MediaEncoder(Protocol):
+    """The encoder interface the sender drives (see :mod:`repro.media`)."""
+
+    @property
+    def settings(self) -> EncoderSettings:  # pragma: no cover - protocol
+        ...
+
+    def frames_due(self, now: float) -> list[EncodedFrame]:  # pragma: no cover
+        ...
+
+    def set_target_bitrate(self, target_bps: float) -> None:  # pragma: no cover
+        ...
+
+    def request_keyframe(self) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class SenderConfig:
+    """Tunables of the sending pipeline."""
+
+    #: Base tick rate at which the sender polls the encoder for due frames.
+    tick_hz: float = 30.0
+    #: Audio bitrate; ~40 kbps matches the Opus streams the VCAs send.
+    audio_bitrate_bps: float = 40_000.0
+    #: Interval between (bundled) audio packets.
+    audio_packet_interval_s: float = 0.06
+    #: RTP payload MTU.
+    mtu_bytes: int = DEFAULT_MTU_BYTES
+    #: Whether audio is sent at all (servers forwarding video-only legs skip it).
+    send_audio: bool = True
+
+
+class RtpStreamSender:
+    """Congestion-controlled media sender for one participant's uplink."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: str,
+        dst: str,
+        encoder: MediaEncoder,
+        controller: RateController,
+        config: Optional[SenderConfig] = None,
+        rtcp_flow_id: Optional[str] = None,
+        on_target_change: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.dst = dst
+        self.encoder = encoder
+        self.controller = controller
+        self.config = config or SenderConfig()
+        self.rtcp_flow_id = rtcp_flow_id or f"{flow_id}:rtcp"
+        self.on_target_change = on_target_change
+
+        self._packetizer = Packetizer(flow_id=flow_id, src=host.name, dst=dst, mtu_bytes=self.config.mtu_bytes)
+        self._fec = FecGenerator(flow_id=flow_id, src=host.name, dst=dst)
+        self._audio_seq = itertools.count(1)
+        self._tasks: list[PeriodicTask] = []
+        self._running = False
+        #: While the simulation clock is before this time the encoder emits no
+        #: frames (used to model spontaneous encoder stalls, e.g. the
+        #: Teams-Chrome baseline freezes of Section 3.2).
+        self.paused_until = 0.0
+
+        # Lifetime statistics (consumed by the WebRTC-stats collector).
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.fir_received = 0
+        self.reports_received = 0
+
+        # The sender listens for RTCP on its own host under the RTCP flow id.
+        host.register_flow(self.rtcp_flow_id, self._on_rtcp)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Begin encoding and sending media."""
+        if self._running:
+            return
+        self._running = True
+        self.encoder.set_target_bitrate(self.controller.target_bitrate_bps)
+        tick = 1.0 / self.config.tick_hz
+        self._tasks.append(self.sim.every(tick, self._media_tick, start=self.sim.now + tick))
+        if self.config.send_audio:
+            self._tasks.append(
+                self.sim.every(
+                    self.config.audio_packet_interval_s,
+                    self._audio_tick,
+                    start=self.sim.now + self.config.audio_packet_interval_s,
+                )
+            )
+
+    def stop(self) -> None:
+        """Stop sending (the client left the call)."""
+        self._running = False
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------ data path
+    def _media_tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        if now < self.paused_until:
+            return
+        frames = self.encoder.frames_due(now)
+        for frame in frames:
+            packets = self._packetizer.packetize(frame, now)
+            fec_ratio = self.controller.fec_overhead_ratio(now)
+            repair = self._fec.protect(packets, fec_ratio, now) if fec_ratio > 0 else []
+            for packet in packets + repair:
+                self.bytes_sent += packet.size_bytes
+                self.host.send(packet)
+            self.frames_sent += 1
+
+    def _audio_tick(self) -> None:
+        if not self._running:
+            return
+        packet = make_audio_packet(
+            self.flow_id, self.host.name, self.dst, next(self._audio_seq), self.sim.now
+        )
+        self.bytes_sent += packet.size_bytes
+        self.host.send(packet)
+
+    # ------------------------------------------------------------- feedback
+    def _on_rtcp(self, packet: Packet) -> None:
+        now = self.sim.now
+        if is_fir(packet):
+            self.fir_received += 1
+            self.encoder.request_keyframe()
+            return
+        report = extract_report(packet)
+        if report is None:
+            return
+        self.reports_received += 1
+        self.apply_feedback(report)
+
+    def apply_feedback(self, report: FeedbackReport) -> None:
+        """Feed a report into the controller and retarget the encoder."""
+        target = self.controller.on_feedback(report, self.sim.now)
+        self.encoder.set_target_bitrate(target)
+        if self.on_target_change is not None:
+            self.on_target_change(target)
+
+    # ----------------------------------------------------------------- stats
+    @property
+    def current_settings(self) -> EncoderSettings:
+        """The encoder's current operating point (sent-stream WebRTC stats)."""
+        return self.encoder.settings
+
+    @property
+    def target_bitrate_bps(self) -> float:
+        return self.controller.target_bitrate_bps

@@ -1,0 +1,85 @@
+"""The Google Meet application model.
+
+Meet is the WebRTC-native application of the study (it only runs in Chrome).
+Its measured behaviour:
+
+* ~0.95 Mbps up / ~0.84 Mbps down unconstrained (Table 2); the upstream
+  excess over downstream is the extra simulcast copy;
+* simulcast with copies at 320x180 and 640x360 (Section 3.1), giving a
+  downlink-utilization floor of ~0.19 Mbps below 0.5 Mbps shaping and
+  39-70 % utilization in the 0.5-0.8 Mbps range (Figure 1b);
+* Google Congestion Control, which keeps uplink utilization above 85 % under
+  static constraint (Figure 1a), recovers downlink disruptions in under ten
+  seconds thanks to server-side copy switching (Figure 5), and is fair to
+  other delay-sensitive VCAs on the uplink while losing to Zoom (Figure 8a);
+* FPS-first quality adaptation (Figure 2), with the resolution/QP drop when
+  the SFU switches to the low copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cc.gcc import GCCConfig, GCCController
+from repro.media.codec import CodecModel, Resolution
+from repro.media.simulcast import DEFAULT_MEET_LAYERS, SimulcastEncoder
+from repro.media.source import TalkingHeadSource
+from repro.vca.base import VCAProfile
+
+__all__ = ["MeetParameters", "meet_profile"]
+
+
+@dataclass(frozen=True)
+class MeetParameters:
+    """Calibration constants of the Meet model."""
+
+    #: Total nominal uplink video bitrate (both simulcast copies).
+    nominal_video_bps: float = 880_000.0
+    #: Uplink rate once receivers only display the 320x180 copy (n>=7,
+    #: Figure 15b: the drop from ~1 Mbps to ~0.2 Mbps).
+    small_tile_bps: float = 175_000.0
+    #: Uplink ceiling when pinned in speaker mode (Figure 15c: ~1 Mbps).
+    speaker_bps: float = 1_050_000.0
+    min_bitrate_bps: float = 100_000.0
+    start_bitrate_bps: float = 600_000.0
+
+
+def _rate_for_resolution(params: MeetParameters, resolution: Resolution) -> float:
+    if resolution.width >= 640:
+        return params.nominal_video_bps
+    return params.small_tile_bps
+
+
+def meet_profile(seed: int = 0, params: MeetParameters | None = None) -> VCAProfile:
+    """Build the Google Meet profile."""
+    p = params or MeetParameters()
+
+    def encoder_factory(codec: CodecModel, source: TalkingHeadSource) -> SimulcastEncoder:
+        return SimulcastEncoder(codec, layers=DEFAULT_MEET_LAYERS, source=source)
+
+    def controller_factory(rng: np.random.Generator) -> GCCController:
+        config = GCCConfig(
+            min_bitrate_bps=p.min_bitrate_bps,
+            max_bitrate_bps=p.nominal_video_bps,
+            start_bitrate_bps=p.start_bitrate_bps,
+        )
+        return GCCController(config)
+
+    return VCAProfile(
+        name="meet",
+        platform="chrome",
+        architecture="sfu_simulcast",
+        encoder_factory=encoder_factory,
+        controller_factory=controller_factory,
+        nominal_video_bps=p.nominal_video_bps,
+        server_fec_ratio=0.0,
+        server_headroom=0.85,
+        server_thinning_floor=0.62,
+        server_adapts=True,
+        honors_layout_caps=True,
+        speaker_uplink_bps=lambda n, _p=p: _p.speaker_bps,
+        rate_for_resolution=lambda resolution, _p=p: _rate_for_resolution(_p, resolution),
+        stats_available=True,
+    )

@@ -1,0 +1,45 @@
+"""Registry of the VCA profiles this reproduction ships.
+
+The registry maps the names used throughout the paper (and therefore
+throughout the experiment drivers and benchmarks) to profile factories.
+Users adding their own application model register a factory here -- or simply
+pass a :class:`~repro.vca.base.VCAProfile` directly wherever a name is
+accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.vca.base import VCAProfile
+from repro.vca.chrome import teams_chrome_profile, zoom_chrome_profile
+from repro.vca.meet import meet_profile
+from repro.vca.teams import teams_profile
+from repro.vca.zoom import zoom_profile
+
+__all__ = ["PROFILE_FACTORIES", "get_profile", "register_profile"]
+
+PROFILE_FACTORIES: dict[str, Callable[..., VCAProfile]] = {
+    "zoom": zoom_profile,
+    "meet": meet_profile,
+    "teams": teams_profile,
+    "teams-chrome": teams_chrome_profile,
+    "zoom-chrome": zoom_chrome_profile,
+}
+
+
+def get_profile(name: str, seed: int = 0) -> VCAProfile:
+    """Build a fresh :class:`VCAProfile` for a VCA by name.
+
+    Accepted names: ``zoom``, ``meet``, ``teams``, ``teams-chrome``,
+    ``zoom-chrome`` (case-insensitive).
+    """
+    key = name.lower()
+    if key not in PROFILE_FACTORIES:
+        raise ValueError(f"unknown VCA {name!r}; expected one of {sorted(PROFILE_FACTORIES)}")
+    return PROFILE_FACTORIES[key](seed=seed)
+
+
+def register_profile(name: str, factory: Callable[..., VCAProfile]) -> None:
+    """Register a custom application model under ``name``."""
+    PROFILE_FACTORIES[name.lower()] = factory

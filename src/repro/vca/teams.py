@@ -1,0 +1,99 @@
+"""The Microsoft Teams (native client) application model.
+
+Teams' measured behaviour differs from Zoom and Meet on almost every axis:
+
+* the highest nominal utilization of the three (1.4 Mbps up / up to 1.9 Mbps
+  down, Table 2) with large run-to-run variance;
+* a single encoded stream relayed by a server that performs no adaptation of
+  its own, so downlink constraints must be discovered by the *sender* -- the
+  slow downlink recovery of Figures 5b and 6;
+* a slow-then-fast post-congestion ramp (Figure 4a);
+* passivity under competition: Teams backs off to other VCAs on the downlink
+  (Figure 10b) and achieves only ~37 % / ~20 % of a 2 Mbps up/down link
+  against a TCP flow (Figure 12);
+* a fixed four-tile gallery layout on Linux, keeping its uplink flat as the
+  roster grows, and an anomalous uplink increase (up to ~2.9 Mbps) when
+  pinned in speaker mode (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cc.teams import TeamsCCConfig, TeamsController
+from repro.media.codec import CodecModel
+from repro.media.encoder import AdaptiveEncoder, TeamsNativeEncoderPolicy
+from repro.media.source import TalkingHeadSource
+from repro.vca.base import VCAProfile
+
+__all__ = ["TeamsParameters", "teams_profile"]
+
+
+@dataclass(frozen=True)
+class TeamsParameters:
+    """Calibration constants of the Teams native-client model."""
+
+    #: Mean nominal video bitrate; individual clients draw their nominal from
+    #: a normal distribution around this (the paper attributes the Table 2
+    #: up/down asymmetry to exactly this run-to-run variability).
+    nominal_video_bps: float = 1_550_000.0
+    #: Standard deviation of the per-client nominal rate.
+    nominal_std_bps: float = 180_000.0
+    #: Hard bounds on the drawn nominal rate.
+    nominal_floor_bps: float = 1_250_000.0
+    nominal_ceiling_bps: float = 1_900_000.0
+    #: Teams never drops its video below roughly 0.4 Mbps even when it backs
+    #: off to competing traffic (this floor is what produces the ~20-37 %
+    #: shares of Figure 12 rather than a total collapse).
+    min_bitrate_bps: float = 400_000.0
+    start_bitrate_bps: float = 800_000.0
+    #: Speaker-mode uplink: ~1.25 Mbps with three participants growing to
+    #: ~2.9 Mbps with eight (Figure 15c).
+    speaker_base_bps: float = 1_250_000.0
+    speaker_per_participant_bps: float = 330_000.0
+
+
+def _speaker_uplink(params: TeamsParameters, n_participants: int) -> float:
+    extra = max(n_participants - 3, 0) * params.speaker_per_participant_bps
+    return params.speaker_base_bps + extra
+
+
+def teams_profile(seed: int = 0, params: TeamsParameters | None = None) -> VCAProfile:
+    """Build the Microsoft Teams (native) profile."""
+    p = params or TeamsParameters()
+    profile_rng = np.random.default_rng(seed)
+    nominal = float(
+        np.clip(
+            profile_rng.normal(p.nominal_video_bps, p.nominal_std_bps),
+            p.nominal_floor_bps,
+            p.nominal_ceiling_bps,
+        )
+    )
+
+    def encoder_factory(codec: CodecModel, source: TalkingHeadSource) -> AdaptiveEncoder:
+        return AdaptiveEncoder(codec, TeamsNativeEncoderPolicy(nominal_bitrate_bps=nominal), source=source)
+
+    def controller_factory(rng: np.random.Generator) -> TeamsController:
+        config = TeamsCCConfig(
+            min_bitrate_bps=p.min_bitrate_bps,
+            max_bitrate_bps=nominal,
+            start_bitrate_bps=p.start_bitrate_bps,
+        )
+        return TeamsController(config)
+
+    return VCAProfile(
+        name="teams",
+        platform="native",
+        architecture="plain_relay",
+        encoder_factory=encoder_factory,
+        controller_factory=controller_factory,
+        nominal_video_bps=nominal,
+        server_fec_ratio=0.0,
+        server_adapts=False,
+        honors_layout_caps=False,
+        speaker_uplink_bps=lambda n, _p=p: _speaker_uplink(_p, n),
+        rate_for_resolution=None,
+        stats_available=True,
+    )

@@ -1,0 +1,93 @@
+"""The Zoom application model.
+
+Zoom's externally visible behaviour, as measured by the paper:
+
+* unconstrained utilization of ~0.78 Mbps up / ~0.95 Mbps down (Table 2) --
+  the downstream excess is FEC the relay server adds;
+* scalable video coding, letting both the sender and the relay match almost
+  any target rate (Section 4.2);
+* FEC-probing congestion control: stepwise post-disruption recovery with a
+  long overshoot phase (Figure 4a) and pronounced aggressiveness against
+  competing traffic, taking >=75 % of a constrained link even from another
+  Zoom call (Figures 8, 9a, 12, 13);
+* utilization nearly identical between the native client and the Chrome
+  client (Figure 1c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cc.fbra import FBRAConfig, FBRAController
+from repro.media.codec import CodecModel, Resolution
+from repro.media.source import TalkingHeadSource
+from repro.media.svc import DEFAULT_ZOOM_LAYERS, SVCEncoder
+from repro.vca.base import VCAProfile
+
+__all__ = ["ZoomParameters", "zoom_profile"]
+
+
+@dataclass(frozen=True)
+class ZoomParameters:
+    """Calibration constants of the Zoom model (from Table 2 / Section 3-6)."""
+
+    #: Nominal video bitrate on the uplink (Table 2: 0.78 Mbps total upstream
+    #: including ~40 kbps of audio).
+    nominal_video_bps: float = 740_000.0
+    #: FEC overhead the relay server adds on the downstream leg; ~20 % turns
+    #: 0.78 Mbps of media into the ~0.95 Mbps downstream the paper measures.
+    server_fec_ratio: float = 0.20
+    #: Uplink rate when the largest tile showing this client is 640x360 or
+    #: smaller (the n>=5 gallery regime of Figure 15b).
+    medium_tile_bps: float = 350_000.0
+    #: Uplink rate when only thumbnail tiles show this client.
+    small_tile_bps: float = 130_000.0
+    #: Uplink ceiling when pinned in speaker mode (Figure 15c: ~1 Mbps).
+    speaker_bps: float = 1_000_000.0
+    #: Congestion-control floor.
+    min_bitrate_bps: float = 100_000.0
+    #: Bitrate the client starts a call at.
+    start_bitrate_bps: float = 500_000.0
+
+
+def _rate_for_resolution(params: ZoomParameters, resolution: Resolution) -> float:
+    if resolution.width >= 960:
+        return params.nominal_video_bps
+    if resolution.width >= 480:
+        return params.medium_tile_bps
+    return params.small_tile_bps
+
+
+def zoom_profile(seed: int = 0, params: ZoomParameters | None = None) -> VCAProfile:
+    """Build the Zoom (native client) profile."""
+    p = params or ZoomParameters()
+
+    def encoder_factory(codec: CodecModel, source: TalkingHeadSource) -> SVCEncoder:
+        return SVCEncoder(codec, layers=DEFAULT_ZOOM_LAYERS, source=source)
+
+    def controller_factory(rng: np.random.Generator) -> FBRAController:
+        config = FBRAConfig(
+            min_bitrate_bps=p.min_bitrate_bps,
+            max_bitrate_bps=p.nominal_video_bps,
+            start_bitrate_bps=p.start_bitrate_bps,
+        )
+        return FBRAController(config)
+
+    return VCAProfile(
+        name="zoom",
+        platform="native",
+        architecture="svc_relay",
+        encoder_factory=encoder_factory,
+        controller_factory=controller_factory,
+        nominal_video_bps=p.nominal_video_bps,
+        server_fec_ratio=p.server_fec_ratio,
+        server_headroom=0.85,
+        server_thinning_floor=0.35,
+        server_adapts=True,
+        honors_layout_caps=True,
+        speaker_uplink_bps=lambda n, _p=p: _p.speaker_bps,
+        rate_for_resolution=lambda resolution, _p=p: _rate_for_resolution(_p, resolution),
+        stats_available=True,
+    )

@@ -1,0 +1,311 @@
+"""Tests for the congestion-control substrate (repro.cc)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cc.base import FeedbackReport
+from repro.cc.fbra import FBRAConfig, FBRAController
+from repro.cc.gcc import GCCConfig, GCCController
+from repro.cc.quic_cc import QuicCubicState
+from repro.cc.tcp_cubic import CubicConfig, CubicState
+from repro.cc.teams import TeamsCCConfig, TeamsController
+
+
+def report(
+    now, rate=1e6, loss=0.0, queueing=0.0, gradient=0.0, interval=0.25, rtt=0.05
+) -> FeedbackReport:
+    return FeedbackReport(
+        timestamp=now,
+        interval_s=interval,
+        receive_rate_bps=rate,
+        loss_fraction=loss,
+        queueing_delay_s=queueing,
+        delay_gradient_s=gradient,
+        rtt_s=rtt,
+    )
+
+
+def drive(controller, reports):
+    """Feed a list of (time, report) pairs; return the final target."""
+    target = controller.target_bitrate_bps
+    for now, rep in reports:
+        target = controller.on_feedback(rep, now)
+    return target
+
+
+class TestGCC:
+    def test_grows_without_congestion(self):
+        gcc = GCCController(GCCConfig(start_bitrate_bps=500_000, max_bitrate_bps=2e6))
+        start = gcc.target_bitrate_bps
+        t = 0.0
+        for _ in range(80):
+            t += 0.25
+            gcc.on_feedback(report(t, rate=gcc.target_bitrate_bps), t)
+        assert gcc.target_bitrate_bps > start
+
+    def test_backs_off_on_queueing_delay(self):
+        gcc = GCCController(GCCConfig(start_bitrate_bps=1e6))
+        gcc.on_feedback(report(0.25, rate=1e6, queueing=0.2), 0.25)
+        assert gcc.state == "decrease"
+        assert gcc.target_bitrate_bps < 1e6
+
+    def test_overuse_while_app_limited_holds_instead_of_collapsing(self):
+        gcc = GCCController(GCCConfig(start_bitrate_bps=1e6))
+        before = gcc.available_bandwidth_estimate()
+        # Receive rate far below the estimate: the standing queue cannot be
+        # this flow's fault, so the estimate must not collapse.
+        gcc.on_feedback(report(0.25, rate=0.2e6, queueing=0.2), 0.25)
+        assert gcc.state == "hold"
+        assert gcc.available_bandwidth_estimate() >= 0.5 * before
+
+    def test_loss_reduces_target(self):
+        gcc = GCCController(GCCConfig(start_bitrate_bps=1e6))
+        t, target = 0.0, 1e6
+        for _ in range(10):
+            t += 0.25
+            target = gcc.on_feedback(report(t, rate=1e6, loss=0.3), t)
+        assert target < 1e6
+
+    def test_respects_bounds(self):
+        cfg = GCCConfig(min_bitrate_bps=200_000, max_bitrate_bps=900_000, start_bitrate_bps=500_000)
+        gcc = GCCController(cfg)
+        t = 0.0
+        for _ in range(200):
+            t += 0.25
+            gcc.on_feedback(report(t, rate=5e6), t)
+        assert gcc.target_bitrate_bps <= cfg.max_bitrate_bps
+        for _ in range(200):
+            t += 0.25
+            gcc.on_feedback(report(t, rate=50_000, loss=0.5, queueing=0.5), t)
+        assert gcc.target_bitrate_bps >= cfg.min_bitrate_bps
+
+    def test_hold_period_after_backoff(self):
+        gcc = GCCController(GCCConfig(start_bitrate_bps=1e6, hold_time_s=1.0))
+        gcc.on_feedback(report(0.25, rate=1e6, queueing=0.2), 0.25)
+        after_backoff = gcc.target_bitrate_bps
+        gcc.on_feedback(report(0.5, rate=after_backoff), 0.5)
+        assert gcc.state == "hold"
+
+    def test_receive_rate_cap_limits_estimate(self):
+        cfg = GCCConfig(start_bitrate_bps=400_000, max_bitrate_bps=5e6, receive_rate_cap_floor_bps=100_000)
+        gcc = GCCController(cfg)
+        t = 0.0
+        for _ in range(100):
+            t += 0.25
+            gcc.on_feedback(report(t, rate=300_000), t)
+        assert gcc.available_bandwidth_estimate() <= 1.5 * 300_000 + 1
+
+    def test_cap_can_be_disabled(self):
+        cfg = GCCConfig(start_bitrate_bps=400_000, max_bitrate_bps=5e6, cap_to_receive_rate=False)
+        gcc = GCCController(cfg)
+        t = 0.0
+        for _ in range(200):
+            t += 0.25
+            gcc.on_feedback(report(t, rate=300_000), t)
+        assert gcc.available_bandwidth_estimate() > 1.5 * 300_000
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5e6),
+                st.floats(min_value=0.0, max_value=0.8),
+                st.floats(min_value=0.0, max_value=0.5),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_target_stays_in_bounds(self, observations):
+        cfg = GCCConfig(min_bitrate_bps=100_000, max_bitrate_bps=2e6, start_bitrate_bps=600_000)
+        gcc = GCCController(cfg)
+        t = 0.0
+        for rate, loss, queueing in observations:
+            t += 0.25
+            target = gcc.on_feedback(report(t, rate=rate, loss=loss, queueing=queueing), t)
+            assert cfg.min_bitrate_bps <= target <= cfg.max_bitrate_bps
+
+
+class TestFBRA:
+    def test_probing_raises_rate_in_steps(self):
+        fbra = FBRAController(FBRAConfig(start_bitrate_bps=300_000, max_bitrate_bps=800_000))
+        t = 0.0
+        targets = []
+        for _ in range(200):
+            t += 0.25
+            targets.append(fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t))
+        assert targets[-1] == pytest.approx(800_000, rel=0.05)
+
+    def test_fec_overhead_only_during_probe(self):
+        cfg = FBRAConfig(start_bitrate_bps=300_000, max_bitrate_bps=800_000, probe_interval_s=2.0)
+        fbra = FBRAController(cfg)
+        ratios = set()
+        t = 0.0
+        for _ in range(60):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t)
+            ratios.add(fbra.fec_overhead_ratio(t))
+        assert 0.0 in ratios
+        assert cfg.probe_fec_ratio in ratios
+
+    def test_no_overshoot_in_steady_state(self):
+        cfg = FBRAConfig(start_bitrate_bps=500_000, max_bitrate_bps=800_000)
+        fbra = FBRAController(cfg)
+        t = 0.0
+        for _ in range(400):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t)
+            assert fbra.target_bitrate_bps <= cfg.max_bitrate_bps + 1
+
+    def test_overshoot_after_recovery_from_congestion(self):
+        cfg = FBRAConfig(start_bitrate_bps=600_000, max_bitrate_bps=800_000)
+        fbra = FBRAController(cfg)
+        t = 0.0
+        # Ramp to nominal.
+        for _ in range(100):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t)
+        # Severe congestion episode (the 0.25 Mbps disruption).
+        for _ in range(40):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=200_000, loss=0.3, queueing=0.3), t)
+        assert fbra.target_bitrate_bps < 0.5 * cfg.max_bitrate_bps
+        # Recovery: probing may now exceed the nominal rate (the overshoot).
+        peak = 0.0
+        for _ in range(400):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t)
+            peak = max(peak, fbra.target_bitrate_bps)
+        assert peak > cfg.max_bitrate_bps * 1.1
+
+    def test_backoff_on_heavy_loss(self):
+        fbra = FBRAController(FBRAConfig(start_bitrate_bps=700_000, max_bitrate_bps=800_000))
+        target = fbra.on_feedback(report(0.25, rate=700_000, loss=0.4), 0.25)
+        assert target < 700_000
+
+    def test_tolerates_moderate_loss(self):
+        fbra = FBRAController(FBRAConfig(start_bitrate_bps=700_000, max_bitrate_bps=800_000))
+        target = fbra.on_feedback(report(0.25, rate=700_000, loss=0.08), 0.25)
+        assert target >= 700_000 * 0.95
+
+    def test_probing_can_be_disabled(self):
+        fbra = FBRAController(FBRAConfig(start_bitrate_bps=300_000, max_bitrate_bps=800_000))
+        fbra.probing_enabled = False
+        t = 0.0
+        for _ in range(40):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t)
+            assert fbra.fec_overhead_ratio(t) == 0.0
+
+
+class TestTeamsController:
+    def test_ramps_to_nominal(self):
+        teams = TeamsController(TeamsCCConfig(start_bitrate_bps=800_000, max_bitrate_bps=1_500_000))
+        t = 0.0
+        for _ in range(200):
+            t += 0.25
+            teams.on_feedback(report(t, rate=teams.target_bitrate_bps), t)
+        assert teams.target_bitrate_bps == pytest.approx(1_500_000, rel=0.01)
+
+    def test_backs_off_on_delay(self):
+        teams = TeamsController(TeamsCCConfig(start_bitrate_bps=1_400_000))
+        target = teams.on_feedback(report(0.25, rate=1_400_000, queueing=0.1), 0.25)
+        assert target < 1_400_000
+        assert teams.state == "backoff"
+
+    def test_cautious_phase_is_slow(self):
+        cfg = TeamsCCConfig(start_bitrate_bps=1_400_000, cautious_duration_s=10.0)
+        teams = TeamsController(cfg)
+        teams.on_feedback(report(0.25, rate=1_400_000, queueing=0.1), 0.25)
+        low = teams.target_bitrate_bps
+        t = 0.25
+        # Five seconds inside the cautious window: growth should be linear and
+        # bounded by the cautious ramp rate.
+        for _ in range(20):
+            t += 0.25
+            teams.on_feedback(report(t, rate=teams.target_bitrate_bps), t)
+        assert teams.target_bitrate_bps <= low + cfg.cautious_ramp_bps_per_s * 5.5
+        assert teams.state in ("cautious", "ramp")
+
+    def test_backoff_hold_prevents_consecutive_backoffs(self):
+        cfg = TeamsCCConfig(start_bitrate_bps=1_400_000, backoff_hold_s=2.0)
+        teams = TeamsController(cfg)
+        teams.on_feedback(report(0.25, rate=1_400_000, queueing=0.1), 0.25)
+        first = teams.target_bitrate_bps
+        teams.on_feedback(report(0.5, rate=first, queueing=0.1), 0.5)
+        assert teams.target_bitrate_bps == pytest.approx(first)
+
+    def test_never_below_min(self):
+        cfg = TeamsCCConfig(min_bitrate_bps=400_000, start_bitrate_bps=1_000_000)
+        teams = TeamsController(cfg)
+        t = 0.0
+        for _ in range(100):
+            t += 2.5
+            teams.on_feedback(report(t, rate=100_000, loss=0.3, queueing=0.5), t)
+        assert teams.target_bitrate_bps >= 400_000
+
+
+class TestCubic:
+    def test_slow_start_doubles_per_rtt_worth_of_acks(self):
+        cubic = CubicState(CubicConfig(initial_cwnd_segments=10))
+        for _ in range(10):
+            cubic.on_ack(now=0.1, rtt_s=0.1)
+        assert cubic.cwnd == pytest.approx(20)
+
+    def test_loss_applies_beta(self):
+        cubic = CubicState()
+        cubic.cwnd = 100
+        cubic.on_loss(now=1.0)
+        assert cubic.cwnd == pytest.approx(70)
+        assert not cubic.in_slow_start
+
+    def test_timeout_collapses_window(self):
+        cubic = CubicState()
+        cubic.cwnd = 100
+        cubic.on_timeout()
+        assert cubic.cwnd == CubicConfig().min_cwnd_segments
+
+    def test_congestion_avoidance_recovers_toward_wmax(self):
+        cubic = CubicState()
+        cubic.cwnd = 100
+        cubic.on_loss(now=0.0)
+        t = 0.0
+        for _ in range(2000):
+            t += 0.01
+            cubic.on_ack(now=t, rtt_s=0.05)
+        assert cubic.cwnd > 90
+
+    def test_cwnd_never_exceeds_max(self):
+        cfg = CubicConfig(max_cwnd_segments=50)
+        cubic = CubicState(cfg)
+        for i in range(500):
+            cubic.on_ack(now=i * 0.01, rtt_s=0.05)
+        assert cubic.cwnd <= 50
+
+    def test_cwnd_never_below_min(self):
+        cubic = CubicState()
+        for _ in range(20):
+            cubic.on_loss(now=1.0)
+        assert cubic.cwnd >= CubicConfig().min_cwnd_segments
+
+    def test_quic_defaults_larger_initial_window(self):
+        assert QuicCubicState().cwnd > CubicState().cwnd
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(["ack", "loss", "timeout"]), min_size=1, max_size=200))
+    def test_property_window_stays_positive_and_bounded(self, events):
+        cfg = CubicConfig()
+        cubic = CubicState(cfg)
+        t = 0.0
+        for event in events:
+            t += 0.01
+            if event == "ack":
+                cubic.on_ack(t, rtt_s=0.05)
+            elif event == "loss":
+                cubic.on_loss(t)
+            else:
+                cubic.on_timeout()
+            assert cfg.min_cwnd_segments <= cubic.cwnd <= cfg.max_cwnd_segments

@@ -1,0 +1,137 @@
+"""Integration tests for the experiment drivers (reduced-scale runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.competition import run_competition, run_vca_vs_vca
+from repro.experiments.disruption import run_disruption_timeseries, run_ttr_sweep
+from repro.experiments.modality import run_participant_sweep
+from repro.experiments.static import (
+    run_capacity_sweep,
+    run_encoding_parameters,
+    run_unconstrained_utilization,
+    run_video_freezes,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        ids = list_experiments()
+        for expected in ("table2", "fig1a", "fig1b", "fig1c", "fig2", "fig3", "fig4a", "fig4b",
+                         "fig5a", "fig5b", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+                         "fig13", "fig14", "fig15ab", "fig15c"):
+            assert expected in ids
+
+    def test_specs_have_sections_and_drivers(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.section
+            assert callable(spec.driver)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+
+class TestStaticDrivers:
+    def test_table2_reduced(self):
+        table = run_unconstrained_utilization(vcas=("meet", "zoom"), duration_s=40, repetitions=1)
+        assert len(table.rows) == 2
+        rates = {row[0]: (row[1], row[2]) for row in table.rows}
+        assert 0.5 < rates["meet"][0] < 1.3
+        # Zoom's downstream exceeds its upstream (relay-side FEC).
+        assert rates["zoom"][1] > rates["zoom"][0]
+
+    def test_capacity_sweep_monotone_with_capacity(self):
+        series = run_capacity_sweep(
+            direction="up", vcas=("meet",), levels_mbps=(0.5, 2.0), duration_s=40, repetitions=1
+        )
+        meet = series["meet"]
+        assert meet.y[0] < meet.y[1]
+        assert meet.y[0] <= 0.6
+
+    def test_encoding_parameters_reports_all_metrics(self):
+        result = run_encoding_parameters(
+            direction="up", vcas=("meet",), levels_mbps=(0.5, 5.0), duration_s=35, repetitions=1
+        )
+        assert set(result) == {"qp", "fps", "width"}
+        qp = result["qp"]["meet"]
+        # QP rises when the uplink is constrained.
+        assert qp.y[0] > qp.y[1]
+
+    def test_video_freezes_driver_structure(self):
+        result = run_video_freezes(
+            vcas=("meet",), levels_mbps=(0.3, 5.0), duration_s=35, repetitions=1
+        )
+        freeze = result["freeze_ratio"]["meet"]
+        fir = result["fir_count"]["meet"]
+        assert len(freeze.y) == 2 and len(fir.y) == 2
+        assert freeze.y[0] >= freeze.y[1]  # more freezes at 0.3 Mbps than unconstrained
+
+
+class TestDisruptionDrivers:
+    def test_ttr_is_positive_after_severe_uplink_drop(self):
+        result = run_ttr_sweep(
+            direction="up",
+            vcas=("meet",),
+            levels_mbps=(0.25,),
+            duration_s=150,
+            repetitions=1,
+        )
+        assert result["meet"].y[0] > 3.0
+
+    def test_timeseries_shows_the_dip(self):
+        result = run_disruption_timeseries(
+            direction="up", drop_to_mbps=0.25, vcas=("zoom",), duration_s=150, repetitions=1
+        )
+        series = result["zoom"]
+        during = [y for x, y in zip(series.x, series.y) if 70 <= x <= 88]
+        before = [y for x, y in zip(series.x, series.y) if 30 <= x <= 55]
+        assert sum(during) / len(during) < 0.7 * (sum(before) / len(before))
+
+
+class TestCompetitionDrivers:
+    def test_zoom_beats_meet_on_uplink(self):
+        run = run_competition("zoom", "meet", 0.5, competitor_duration_s=60, seed=2)
+        assert run.share("up") > 0.55
+
+    def test_table_driver_shapes(self):
+        table = run_vca_vs_vca(
+            direction="up",
+            capacity_mbps=0.5,
+            incumbents=("zoom",),
+            competitors=("meet",),
+            repetitions=1,
+            competitor_duration_s=50,
+        )
+        assert len(table.rows) == 1
+        assert 0.0 <= table.rows[0][2] <= 1.0
+
+    def test_teams_passive_against_tcp(self):
+        run = run_competition("teams", "iperf-down", 2.0, competitor_duration_s=60, seed=1)
+        assert run.share("down") < 0.5
+
+
+class TestModalityDriver:
+    def test_gallery_sweep_shows_zoom_uplink_drop(self):
+        result = run_participant_sweep(
+            mode="gallery",
+            vcas=("zoom",),
+            participant_counts=(2, 5),
+            duration_s=40,
+            repetitions=1,
+        )
+        uplink = result["uplink"]["zoom"]
+        assert uplink.y[1] < uplink.y[0]
+
+    def test_speaker_sweep_returns_both_directions(self):
+        result = run_participant_sweep(
+            mode="speaker",
+            vcas=("teams",),
+            participant_counts=(3,),
+            duration_s=40,
+            repetitions=1,
+        )
+        assert "uplink" in result and "downlink" in result
+        assert result["uplink"]["teams"].figure_id == "fig15c"

@@ -1,0 +1,314 @@
+"""Tests for packets, links, shapers, hosts, routers and topologies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.net.link import DEFAULT_QUEUE_BYTES, Link
+from repro.net.node import Host
+from repro.net.packet import Packet, PacketKind
+from repro.net.router import Router
+from repro.net.shaper import UNCONSTRAINED_BPS, BandwidthProfile, LinkShaper
+from repro.net.simulator import Simulator
+from repro.net.topology import build_access_topology, build_competition_topology
+
+
+def make_packet(size=1000, flow="f", src="a", dst="b", **kw):
+    return Packet(size_bytes=size, flow_id=flow, src=src, dst=dst, **kw)
+
+
+class TestPacket:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            make_packet(size=0)
+
+    def test_size_bits(self):
+        assert make_packet(size=125).size_bits == 1000
+
+    def test_unique_packet_ids(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+    def test_copy_for_forwarding_preserves_media_metadata(self):
+        packet = make_packet(meta={"frame_id": 7, "layer": "top"}, seq=42)
+        packet.created_at = 1.25
+        copy = packet.copy_for_forwarding(src="server", dst="client", flow_id="down")
+        assert copy.src == "server"
+        assert copy.dst == "client"
+        assert copy.flow_id == "down"
+        assert copy.seq == 42
+        assert copy.created_at == 1.25
+        assert copy.meta["frame_id"] == 7
+        assert copy.meta is not packet.meta
+
+
+class TestLink:
+    def test_serialization_delay_matches_rate(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8_000.0, delay_s=0.0)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(make_packet(size=1000))  # 8000 bits at 8 kbps -> 1 second
+        sim.run(until=2.0)
+        assert arrivals == pytest.approx([1.0])
+
+    def test_propagation_delay_added(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8_000.0, delay_s=0.5)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(make_packet(size=1000))
+        sim.run(until=3.0)
+        assert arrivals == pytest.approx([1.5])
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=80_000.0)
+        order = []
+        link.connect(lambda p: order.append(p.seq))
+        for seq in range(5):
+            link.send(make_packet(seq=seq))
+        sim.run(until=2.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_drop_tail_when_queue_full(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8_000.0, queue_bytes=2500)
+        delivered = []
+        link.connect(lambda p: delivered.append(p.seq))
+        for seq in range(10):
+            link.send(make_packet(size=1000, seq=seq))
+        sim.run(until=60.0)
+        assert link.stats.packets_dropped > 0
+        assert len(delivered) + link.stats.packets_dropped == 10
+
+    def test_on_drop_callback(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8_000.0, queue_bytes=1500)
+        link.connect(lambda p: None)
+        dropped = []
+        link.on_drop = lambda p: dropped.append(p.seq)
+        for seq in range(5):
+            link.send(make_packet(size=1000, seq=seq))
+        assert dropped  # at least one packet did not fit the 1500 B queue
+
+    def test_random_loss(self):
+        sim = Simulator(seed=1)
+        link = Link(sim, "l", rate_bps=1e9, loss_rate=0.5)
+        delivered = []
+        link.connect(lambda p: delivered.append(p))
+        for _ in range(500):
+            link.send(make_packet(size=100))
+        sim.run(until=10.0)
+        assert 100 < len(delivered) < 400
+
+    def test_set_rate_changes_serialization(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8_000.0, delay_s=0.0)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.set_rate(80_000.0)
+        link.send(make_packet(size=1000))
+        sim.run(until=1.0)
+        assert arrivals == pytest.approx([0.1])
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, "l", rate_bps=0)
+        link = Link(sim, "l", rate_bps=1e6)
+        with pytest.raises(ValueError):
+            link.set_rate(-5)
+
+    def test_queueing_delay_estimate(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8_000.0)
+        link.connect(lambda p: None)
+        link.send(make_packet(size=1000))
+        link.send(make_packet(size=1000))
+        # One packet in service, one waiting -> 1000 B / 1 kB/s = 1 s backlog.
+        assert link.queueing_delay_estimate() == pytest.approx(1.0)
+
+    def test_stats_drop_rate(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=8_000.0, queue_bytes=1000)
+        link.connect(lambda p: None)
+        for _ in range(4):
+            link.send(make_packet(size=1000))
+        sim.run(until=10.0)
+        assert 0.0 < link.stats.drop_rate < 1.0
+
+
+class TestBandwidthProfile:
+    def test_constant_profile(self):
+        profile = BandwidthProfile.constant(2e6)
+        assert profile.rate_at(0.0) == 2e6
+        assert profile.rate_at(1000.0) == 2e6
+
+    def test_disruption_profile_shape(self):
+        profile = BandwidthProfile.disruption(0.25e6, drop_at_s=60, duration_s=30)
+        assert profile.rate_at(10) == UNCONSTRAINED_BPS
+        assert profile.rate_at(60) == 0.25e6
+        assert profile.rate_at(89.9) == 0.25e6
+        assert profile.rate_at(90) == UNCONSTRAINED_BPS
+
+    def test_from_segments(self):
+        profile = BandwidthProfile.from_segments([(0.0, 1e6), (10.0, 2e6)])
+        assert profile.rate_at(5) == 1e6
+        assert profile.rate_at(15) == 2e6
+
+    def test_from_segments_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            BandwidthProfile.from_segments([(5.0, 1e6)])
+
+    def test_steps_must_increase(self):
+        with pytest.raises(ValueError):
+            BandwidthProfile(initial_bps=1e6, steps=((5.0, 2e6), (5.0, 3e6)))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthProfile.constant(-1)
+
+    def test_shaper_applies_steps(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=1e9)
+        link.connect(lambda p: None)
+        shaper = LinkShaper(sim, link, BandwidthProfile.disruption(1e6, drop_at_s=5, duration_s=5))
+        shaper.apply()
+        sim.run(until=6.0)
+        assert link.rate_bps == 1e6
+        sim.run(until=11.0)
+        assert link.rate_bps == UNCONSTRAINED_BPS
+
+    def test_shaper_cannot_be_applied_twice(self):
+        sim = Simulator()
+        link = Link(sim, "l", rate_bps=1e9)
+        shaper = LinkShaper(sim, link, BandwidthProfile.constant(1e6))
+        shaper.apply()
+        with pytest.raises(RuntimeError):
+            shaper.apply()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=100.0), st.floats(min_value=0.0, max_value=500.0))
+    def test_property_rate_always_positive(self, level_mbps, when):
+        profile = BandwidthProfile.disruption(level_mbps * 1e6)
+        assert profile.rate_at(when) > 0
+
+
+class TestHostAndRouter:
+    def test_host_dispatches_by_flow(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        seen = {"a": 0, "b": 0}
+        host.register_flow("a", lambda p: seen.__setitem__("a", seen["a"] + 1))
+        host.register_flow("b", lambda p: seen.__setitem__("b", seen["b"] + 1))
+        host.receive(make_packet(flow="a"))
+        host.receive(make_packet(flow="b"))
+        host.receive(make_packet(flow="a"))
+        assert seen == {"a": 2, "b": 1}
+
+    def test_duplicate_flow_registration_rejected(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        host.register_flow("a", lambda p: None)
+        with pytest.raises(ValueError):
+            host.register_flow("a", lambda p: None)
+
+    def test_default_handler_for_unknown_flow(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        seen = []
+        host.set_default_handler(lambda p: seen.append(p.flow_id))
+        host.receive(make_packet(flow="mystery"))
+        assert seen == ["mystery"]
+
+    def test_send_requires_egress(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        with pytest.raises(RuntimeError):
+            host.send(make_packet())
+
+    def test_taps_see_both_directions(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        host.set_egress(lambda p: None)
+        events = []
+        host.taps.append(lambda direction, p: events.append(direction))
+        host.send(make_packet(src="h"))
+        host.receive(make_packet(dst="h"))
+        assert events == ["tx", "rx"]
+
+    def test_router_routes_by_destination(self):
+        sim = Simulator()
+        router = Router(sim, "r")
+        seen = []
+        router.add_delay_route("x", lambda p: seen.append("x"), delay_s=0.0)
+        router.set_default_delay_route(lambda p: seen.append("default"), delay_s=0.0)
+        router.receive(make_packet(dst="x"))
+        router.receive(make_packet(dst="y"))
+        sim.run(until=1.0)
+        assert seen == ["x", "default"]
+
+    def test_router_without_route_raises(self):
+        sim = Simulator()
+        router = Router(sim, "r")
+        with pytest.raises(RuntimeError):
+            router.receive(make_packet(dst="nowhere"))
+
+
+class TestTopologies:
+    def test_access_topology_end_to_end_delivery(self):
+        sim = Simulator()
+        topo = build_access_topology(sim)
+        received = []
+        topo.host("S").register_flow("f", lambda p: received.append(sim.now))
+        packet = make_packet(flow="f", src="C1", dst="S")
+        topo.host("C1").send(packet)
+        sim.run(until=1.0)
+        assert len(received) == 1
+        assert received[0] > 0.0
+
+    def test_access_topology_shaping_applies_to_uplink(self):
+        sim = Simulator()
+        topo = build_access_topology(sim)
+        topo.shape(up_profile=BandwidthProfile.constant(1e6))
+        assert topo.uplink.rate_bps == 1e6
+        assert topo.downlink.rate_bps == UNCONSTRAINED_BPS
+
+    def test_access_topology_reverse_path(self):
+        sim = Simulator()
+        topo = build_access_topology(sim)
+        received = []
+        topo.host("C1").register_flow("f", lambda p: received.append(p))
+        topo.host("S").send(make_packet(flow="f", src="S", dst="C1"))
+        sim.run(until=1.0)
+        assert len(received) == 1
+
+    def test_access_topology_multi_client(self):
+        sim = Simulator()
+        topo = build_access_topology(sim, client_names=("C1", "C2", "C3", "C4"))
+        assert set(topo.hosts) == {"C1", "C2", "C3", "C4", "S"}
+
+    def test_competition_topology_shares_bottleneck(self):
+        sim = Simulator()
+        topo = build_competition_topology(sim)
+        topo.shape(up_profile=BandwidthProfile.constant(1e6), down_profile=BandwidthProfile.constant(1e6))
+        received = []
+        topo.host("S1").register_flow("a", lambda p: received.append("C1"))
+        topo.host("S2").register_flow("b", lambda p: received.append("F1"))
+        topo.host("C1").send(make_packet(flow="a", src="C1", dst="S1"))
+        topo.host("F1").send(make_packet(flow="b", src="F1", dst="S2"))
+        sim.run(until=1.0)
+        assert sorted(received) == ["C1", "F1"]
+        assert topo.bottleneck_up.stats.packets_sent == 2
+
+    def test_competition_topology_downstream_path(self):
+        sim = Simulator()
+        topo = build_competition_topology(sim)
+        received = []
+        topo.host("F1").register_flow("d", lambda p: received.append(p))
+        topo.host("S2").send(make_packet(flow="d", src="S2", dst="F1"))
+        sim.run(until=1.0)
+        assert len(received) == 1
+        assert topo.bottleneck_down.stats.packets_sent == 1

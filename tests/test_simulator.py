@@ -1,0 +1,156 @@
+"""Tests for the discrete-event engine (repro.net.simulator)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_run_advances_clock_to_until(self):
+        sim = Simulator()
+        sim.run(until=12.5)
+        assert sim.now == 12.5
+
+    def test_callback_runs_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run(until=2.0)
+        assert seen == [1.5]
+
+    def test_events_execute_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run(until=5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run(until=2.0)
+        assert order == ["first", "second", "third"]
+
+    def test_negative_delay_clamped_to_now(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        seen = []
+        sim.schedule(-1.0, lambda: seen.append(sim.now))
+        sim.run(until=6.0)
+        assert seen == [5.0]
+
+    def test_schedule_at_in_the_past_runs_now(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(sim.now))
+        sim.run(until=11.0)
+        assert seen == [10.0]
+
+    def test_events_beyond_until_not_executed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run(until=4.0)
+        assert seen == []
+        sim.run(until=6.0)
+        assert seen == ["late"]
+
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        sim.run(until=2.0)
+        assert seen == []
+
+    def test_event_counter_increments(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.events_processed == 5
+
+    def test_run_all_respects_limit(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(100.0, lambda: seen.append(2))
+        sim.run_all(limit=50.0)
+        assert seen == [1]
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run(until=3.0)
+        assert seen == [2.0]
+
+    def test_seeded_rng_is_reproducible(self):
+        a = Simulator(seed=42).rng.random(5)
+        b = Simulator(seed=42).rng.random(5)
+        assert list(a) == list(b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_property_execution_order_is_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run(until=200.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestPeriodicTask:
+    def test_fires_at_every_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_cancels_future_firings(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_custom_start_time(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), start=0.5)
+        sim.run(until=3.0)
+        assert ticks == [0.5, 1.5, 2.5]
+
+    def test_end_bound_respected(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), end=3.0)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        import pytest
+
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda: None)

@@ -1,0 +1,240 @@
+"""Tests for the VCA application models: profiles, clients, server, calls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capture import PacketCapture
+from repro.core.profiles import static_profile
+from repro.media.codec import Resolution
+from repro.media.layout import ViewMode
+from repro.net.shaper import BandwidthProfile
+from repro.net.simulator import Simulator
+from repro.net.topology import build_access_topology
+from repro.vca import PROFILE_FACTORIES, Call, CallConfig, get_profile, register_profile
+from repro.vca.base import downlink_flow, uplink_flow
+
+
+class TestProfiles:
+    def test_registry_contains_all_five_clients(self):
+        assert set(PROFILE_FACTORIES) == {"zoom", "meet", "teams", "teams-chrome", "zoom-chrome"}
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("Zoom").name == "zoom"
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_profile("skype")
+
+    def test_register_custom_profile(self):
+        register_profile("custom-test", lambda seed=0: get_profile("zoom", seed))
+        try:
+            assert get_profile("custom-test").name == "zoom"
+        finally:
+            PROFILE_FACTORIES.pop("custom-test", None)
+
+    def test_architectures_match_paper(self):
+        assert get_profile("zoom").architecture == "svc_relay"
+        assert get_profile("meet").architecture == "sfu_simulcast"
+        assert get_profile("teams").architecture == "plain_relay"
+
+    def test_zoom_server_adds_fec_meet_does_not(self):
+        assert get_profile("zoom").server_fec_ratio > 0
+        assert get_profile("meet").server_fec_ratio == 0
+
+    def test_teams_ignores_layout_caps(self):
+        assert get_profile("teams").honors_layout_caps is False
+        assert get_profile("zoom").honors_layout_caps is True
+
+    def test_teams_nominal_varies_with_seed_within_bounds(self):
+        nominals = {get_profile("teams", seed=s).nominal_video_bps for s in range(8)}
+        assert len(nominals) > 1
+        assert all(1_200_000 <= n <= 1_950_000 for n in nominals)
+
+    def test_zoom_chrome_has_no_webrtc_stats(self):
+        assert get_profile("zoom-chrome").stats_available is False
+        assert get_profile("meet").stats_available is True
+
+    def test_teams_chrome_has_stall_quirk(self):
+        profile = get_profile("teams-chrome")
+        assert profile.stall_interval_s is not None
+        assert profile.platform == "chrome"
+
+    def test_display_names(self):
+        assert get_profile("teams-chrome").display_name() == "Teams-Chrome"
+        assert get_profile("meet").display_name() == "Meet"
+
+    def test_flow_id_helpers(self):
+        assert uplink_flow("C1", "call") == "call:up:C1"
+        assert downlink_flow("C2", "C1", "call") == "call:down:C2>C1"
+
+
+def run_call(vca, up=None, down=None, duration=50.0, seed=3, n=2, mode=ViewMode.GALLERY, pinned=None,
+             collect_stats=True):
+    """Helper: run an n-party call and return (sim, topo, capture, call)."""
+    names = [f"C{i}" for i in range(1, n + 1)]
+    sim = Simulator(seed=seed)
+    topo = build_access_topology(sim, client_names=names)
+    topo.shape(
+        up_profile=up or BandwidthProfile.unconstrained(),
+        down_profile=down or BandwidthProfile.unconstrained(),
+    )
+    capture = PacketCapture(sim)
+    capture.attach(topo.host("C1"))
+    call = Call(
+        sim,
+        [topo.host(name) for name in names],
+        topo.host("S"),
+        CallConfig(vca=vca, seed=seed, view_mode=mode, pinned=pinned, collect_stats=collect_stats),
+    )
+    call.start()
+    sim.run(until=duration)
+    call.stop()
+    sim.run(until=duration + 2)
+    return sim, topo, capture, call
+
+
+class TestTwoPartyCalls:
+    def test_meet_unconstrained_utilization_matches_table2(self):
+        _, _, capture, _ = run_call("meet", duration=60)
+        up = capture.aggregate("C1", "tx").mean_mbps(15, 60)
+        down = capture.aggregate("C1", "rx").mean_mbps(15, 60)
+        assert 0.8 <= up <= 1.1
+        assert 0.7 <= down <= 1.0
+
+    def test_zoom_downstream_exceeds_upstream_due_to_relay_fec(self):
+        _, _, capture, _ = run_call("zoom", duration=60)
+        up = capture.aggregate("C1", "tx").mean_mbps(15, 60)
+        down = capture.aggregate("C1", "rx").mean_mbps(15, 60)
+        assert down > up
+        assert 0.7 <= up <= 1.0
+
+    def test_teams_uses_the_most_bandwidth(self):
+        rates = {}
+        for vca in ("meet", "zoom", "teams"):
+            _, _, capture, _ = run_call(vca, duration=50)
+            rates[vca] = capture.aggregate("C1", "tx").mean_mbps(15, 50)
+        assert rates["teams"] > rates["meet"]
+        assert rates["teams"] > rates["zoom"]
+
+    def test_uplink_shaping_reduces_send_rate(self):
+        _, _, capture, _ = run_call("meet", up=static_profile(0.5), duration=60)
+        up = capture.aggregate("C1", "tx").median_mbps(20, 60)
+        assert 0.3 <= up <= 0.55
+
+    def test_meet_downlink_floor_at_low_capacity(self):
+        _, _, capture, _ = run_call("meet", down=static_profile(0.5), duration=60)
+        down = capture.aggregate("C1", "rx").median_mbps(20, 60)
+        assert down < 0.3  # stuck on the low simulcast copy (paper: ~0.19)
+
+    def test_webrtc_stats_collected_for_meet(self):
+        _, _, _, call = run_call("meet", duration=40)
+        stats = call.client("C1").stats
+        assert stats is not None
+        assert len(stats.samples) > 20
+        assert stats.mean("sent_width", 10, 40) > 0
+
+    def test_zoom_chrome_has_no_stats_collector(self):
+        _, _, _, call = run_call("zoom-chrome", duration=30)
+        assert call.client("C1").stats is None
+
+    def test_severe_downlink_increases_freeze_ratio(self):
+        _, _, _, constrained = run_call("meet", down=static_profile(0.3), duration=60, seed=5)
+        _, _, _, unconstrained = run_call("meet", duration=60, seed=5)
+
+        def ratio(call):
+            client = call.client("C1")
+            total = sum(
+                r.freeze_tracker.total_freeze_s
+                for r in client.receivers.values()
+                if r.freeze_tracker
+            )
+            return total / 60.0
+
+        assert ratio(constrained) > ratio(unconstrained)
+
+    def test_teams_chrome_low_uplink_triggers_firs(self):
+        _, _, _, call = run_call("teams-chrome", up=static_profile(0.3), duration=60, seed=4)
+        remote_receiver = call.client("C2").receivers["C1"]
+        assert remote_receiver.fir_sent >= 1
+
+    def test_server_rewrites_sequence_numbers(self):
+        _, _, _, call = run_call("meet", duration=30)
+        receiver = call.client("C1").receivers["C2"]
+        # Selective forwarding must not be misread as loss on an
+        # unconstrained link.
+        report = receiver.make_report(now=30.0)
+        assert report.loss_fraction < 0.05
+
+    def test_call_stop_halts_traffic(self):
+        sim, _, capture, call = run_call("zoom", duration=40)
+        total_at_stop = capture.aggregate("C1", "tx").total_bytes(0, 41)
+        sim.run(until=50)
+        assert capture.aggregate("C1", "tx").total_bytes(0, 50) <= total_at_stop * 1.01
+
+    def test_call_requires_two_participants(self):
+        sim = Simulator()
+        topo = build_access_topology(sim)
+        with pytest.raises(ValueError):
+            Call(sim, [topo.host("C1")], topo.host("S"), CallConfig())
+
+
+class TestMultiParty:
+    def test_zoom_uplink_drops_at_five_participants(self):
+        _, _, cap4, _ = run_call("zoom", n=4, duration=45, seed=7)
+        _, _, cap5, _ = run_call("zoom", n=5, duration=45, seed=7)
+        up4 = cap4.aggregate("C1", "tx").mean_mbps(15, 45)
+        up5 = cap5.aggregate("C1", "tx").mean_mbps(15, 45)
+        assert up5 < 0.75 * up4
+
+    def test_teams_uplink_flat_across_roster_sizes(self):
+        _, _, cap3, _ = run_call("teams", n=3, duration=45, seed=7)
+        _, _, cap7, _ = run_call("teams", n=7, duration=45, seed=7)
+        up3 = cap3.aggregate("C1", "tx").mean_mbps(15, 45)
+        up7 = cap7.aggregate("C1", "tx").mean_mbps(15, 45)
+        assert up7 == pytest.approx(up3, rel=0.35)
+
+    def test_meet_downlink_grows_with_participants(self):
+        _, _, cap2, _ = run_call("meet", n=2, duration=45, seed=9)
+        _, _, cap5, _ = run_call("meet", n=5, duration=45, seed=9)
+        down2 = cap2.aggregate("C1", "rx").mean_mbps(15, 45)
+        down5 = cap5.aggregate("C1", "rx").mean_mbps(15, 45)
+        assert down5 > down2
+
+    def test_speaker_mode_raises_teams_uplink(self):
+        _, _, gallery, _ = run_call("teams", n=6, duration=45, seed=11)
+        _, _, speaker, _ = run_call(
+            "teams", n=6, duration=45, seed=11, mode=ViewMode.SPEAKER, pinned="C1"
+        )
+        up_gallery = gallery.aggregate("C1", "tx").mean_mbps(15, 45)
+        up_speaker = speaker.aggregate("C1", "tx").mean_mbps(15, 45)
+        assert up_speaker > up_gallery
+
+    def test_speaker_mode_zoom_pinned_client_sends_high_rate(self):
+        _, _, capture, _ = run_call(
+            "zoom", n=6, duration=45, seed=11, mode=ViewMode.SPEAKER, pinned="C1"
+        )
+        up = capture.aggregate("C1", "tx").mean_mbps(15, 45)
+        assert up > 0.6
+
+
+class TestServerBehaviour:
+    def test_server_forwards_media_and_clears_roster_on_bye(self):
+        _, _, _, call = run_call("meet", n=3, duration=20)
+        assert call.server.bytes_forwarded > 0
+        # Every participant sent a BYE when the call stopped.
+        assert call.server.participants == {}
+
+    def test_teams_server_is_plain_relay(self):
+        _, _, _, call = run_call("teams", duration=20)
+        assert call.server.profile.server_adapts is False
+        assert call.server.bytes_forwarded > 0
+        assert call.server.probe_bytes_sent == 0
+
+    def test_zoom_server_adds_fec_bytes(self):
+        _, _, _, call = run_call("zoom", duration=30)
+        assert call.server.fec_bytes_added > 0
+
+    def test_meet_server_adds_no_fec(self):
+        _, _, _, call = run_call("meet", duration=30)
+        assert call.server.fec_bytes_added == 0
