@@ -5,19 +5,31 @@ Reproduces the Section 6 experiment for Zoom: utilization of one client as
 the roster grows, in gallery mode and when that client is pinned by everyone
 else (speaker mode).
 
-Run with:  python examples/multiparty_study.py
+Run with:  python examples/multiparty_study.py [--workers N]
+
+``--workers N`` fans the (participant-count x repetition) grid out over N
+processes via the parallel campaign runner; the numbers are identical to a
+serial run.
 """
+
+import argparse
 
 from repro.core.results import format_table
 from repro.experiments.modality import run_participant_sweep
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the campaign grid (default: serial)")
+    args = parser.parse_args()
     gallery = run_participant_sweep(
-        mode="gallery", vcas=("zoom",), participant_counts=(2, 4, 5, 8), duration_s=60.0, repetitions=1
+        mode="gallery", vcas=("zoom",), participant_counts=(2, 4, 5, 8), duration_s=60.0,
+        repetitions=1, workers=args.workers
     )
     speaker = run_participant_sweep(
-        mode="speaker", vcas=("zoom",), participant_counts=(4, 8), duration_s=60.0, repetitions=1
+        mode="speaker", vcas=("zoom",), participant_counts=(4, 8), duration_s=60.0,
+        repetitions=1, workers=args.workers
     )
     rows = []
     for n, up, down in zip(gallery["uplink"]["zoom"].x, gallery["uplink"]["zoom"].y, gallery["downlink"]["zoom"].y):

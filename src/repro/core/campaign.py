@@ -1,0 +1,154 @@
+"""Parallel campaign execution: fan a (condition x repetition) grid over cores.
+
+The paper's campaigns are embarrassingly parallel: every condition (a VCA, a
+shaping level, a participant count ...) is repeated several times, and each
+repetition is an independent seeded simulation.  :func:`run_campaign` expands
+the grid into one work unit per ``(condition, repetition)``, executes the
+units either serially or on a :class:`multiprocessing` pool, and merges the
+per-unit metrics back into per-condition results.
+
+Determinism
+-----------
+
+Repetition ``i`` of a condition always runs with ``condition.seed + i`` --
+the same rule the serial drivers have always used -- and results are keyed
+by ``(condition, repetition)`` rather than completion order, so a parallel
+run merges to *exactly* the same :class:`ConditionResult` list as a serial
+run of the same grid (this is covered by an equivalence test).
+
+Work units must be picklable: ``Condition.fn`` has to be a module-level
+callable (not a lambda or closure) taking ``seed`` plus the condition's
+``params`` as keyword arguments and returning a picklable mapping of metric
+name to value.  The experiment drivers expose such per-condition functions
+(e.g. :func:`repro.experiments.static.measure_capacity_point`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.core.analysis import RunSummary, aggregate_runs
+
+__all__ = ["Condition", "ConditionResult", "run_campaign", "default_workers"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One cell of a campaign grid.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier of the condition, e.g. ``"zoom@0.5up"``.
+    fn:
+        Module-level callable executed once per repetition as
+        ``fn(seed=..., **params)``; must return a picklable mapping of
+        metric name to float (or any picklable payload).
+    params:
+        Keyword arguments forwarded to every repetition of ``fn``.
+    repetitions:
+        Number of repetitions of this condition.
+    seed:
+        Base seed; repetition ``i`` runs with ``seed + i``.
+    """
+
+    name: str
+    fn: Callable[..., Mapping[str, float]]
+    params: dict[str, Any] = field(default_factory=dict)
+    repetitions: int = 1
+    seed: int = 0
+
+    def seed_for(self, repetition: int) -> int:
+        """Deterministic per-repetition seed (independent of scheduling)."""
+        return self.seed + repetition
+
+
+@dataclass
+class ConditionResult:
+    """All repetitions of one condition, in repetition order."""
+
+    condition: Condition
+    runs: list[Mapping[str, float]]
+
+    def metric_values(self, name: str) -> list[float]:
+        """Raw per-repetition values of one metric."""
+        return [float(run[name]) for run in self.runs if name in run]
+
+    def summary(self, name: str, confidence: float = 0.90) -> RunSummary:
+        """Aggregated summary (mean/median/CI) of one metric."""
+        return aggregate_runs(self.metric_values(name), confidence)
+
+
+def default_workers() -> int:
+    """Worker count used when ``workers`` is passed as ``"auto"``."""
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _execute_unit(
+    unit: tuple[int, int, Callable[..., Mapping[str, float]], dict[str, Any], int]
+) -> tuple[int, int, Mapping[str, float]]:
+    index, repetition, fn, params, seed = unit
+    return index, repetition, fn(seed=seed, **params)
+
+
+def run_campaign(
+    conditions: Sequence[Condition],
+    workers: Optional[int | str] = None,
+    mp_context: Optional[str] = None,
+) -> list[ConditionResult]:
+    """Execute every repetition of every condition and merge the results.
+
+    Parameters
+    ----------
+    conditions:
+        The campaign grid.
+    workers:
+        ``None``, ``0`` or ``1`` runs serially in-process; an integer > 1
+        fans the units out over that many worker processes; ``"auto"`` uses
+        one worker per available core.
+    mp_context:
+        Multiprocessing start method for the pool.  Defaults to ``fork``
+        where available (cheap worker start-up on Linux) and ``spawn``
+        elsewhere; every work unit is a module-level picklable, so both
+        start methods produce identical results.
+
+    Returns
+    -------
+    One :class:`ConditionResult` per condition, in input order, with
+    repetitions in repetition order -- identical regardless of worker count.
+    """
+    if workers == "auto":
+        workers = default_workers()
+    units = [
+        (index, repetition, condition.fn, condition.params, condition.seed_for(repetition))
+        for index, condition in enumerate(conditions)
+        for repetition in range(condition.repetitions)
+    ]
+    merged: dict[int, dict[int, Mapping[str, float]]] = {
+        index: {} for index in range(len(conditions))
+    }
+    if workers is None or workers <= 1:
+        for unit in units:
+            index, repetition, metrics = _execute_unit(unit)
+            merged[index][repetition] = metrics
+    else:
+        if mp_context is None:
+            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(mp_context)
+        with ProcessPoolExecutor(max_workers=int(workers), mp_context=context) as pool:
+            for index, repetition, metrics in pool.map(_execute_unit, units, chunksize=1):
+                merged[index][repetition] = metrics
+    return [
+        ConditionResult(
+            condition=condition,
+            runs=[merged[index][rep] for rep in sorted(merged[index])],
+        )
+        for index, condition in enumerate(conditions)
+    ]

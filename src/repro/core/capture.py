@@ -7,13 +7,19 @@ per flow into fixed-width intervals; :class:`FlowSeries` then exposes the
 bitrate time series and summary statistics every experiment in the paper is
 computed from (median bitrate, average utilization, time-resolved traces for
 the disruption and competition figures).
+
+The per-packet path is the hottest non-engine code in a run, so
+:class:`FlowSeries` accumulates into a flat array indexed by bin number
+(one integer add per packet, no dict hashing) and the queries
+(:meth:`FlowSeries.timeseries`, :meth:`FlowSeries.total_bytes`) are
+vectorised numpy slices over that array.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from functools import partial
+from types import MappingProxyType
+from typing import Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -24,38 +30,75 @@ from repro.net.simulator import Simulator
 __all__ = ["PacketCapture", "FlowSeries"]
 
 
-@dataclass
 class FlowSeries:
-    """Binned byte counts for one (flow, direction) pair."""
+    """Binned byte counts for one (flow, direction) pair.
 
-    flow_id: str
-    direction: str
-    bin_width_s: float
-    bins: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    Bytes are accumulated into ``_bins``, a plain list indexed by bin number
+    (grown on demand).  ``bins`` exposes the legacy sparse-dict view for
+    callers that want ``{bin_index: bytes}``.
+    """
+
+    __slots__ = ("flow_id", "direction", "bin_width_s", "_bins")
+
+    def __init__(self, flow_id: str, direction: str, bin_width_s: float) -> None:
+        self.flow_id = flow_id
+        self.direction = direction
+        self.bin_width_s = bin_width_s
+        self._bins: list[int] = []
+
+    @property
+    def bins(self) -> Mapping[int, int]:
+        """Sparse read-only ``{bin_index: byte_count}`` view of the accumulator.
+
+        The view is built on access; writes raise instead of vanishing into a
+        throwaway dict (accumulate through :meth:`add` / :meth:`merge`).
+        """
+        return MappingProxyType({index: size for index, size in enumerate(self._bins) if size})
 
     def add(self, time_s: float, size_bytes: int) -> None:
-        self.bins[int(time_s / self.bin_width_s)] += size_bytes
+        index = int(time_s / self.bin_width_s)
+        bins = self._bins
+        try:
+            bins[index] += size_bytes
+        except IndexError:
+            bins.extend([0] * (index + 1 - len(bins)))
+            bins[index] += size_bytes
+
+    def merge(self, other: "FlowSeries") -> None:
+        """Add another series' byte counts into this one (same bin width)."""
+        theirs = other._bins
+        mine = self._bins
+        if len(mine) < len(theirs):
+            mine.extend([0] * (len(theirs) - len(mine)))
+        for index, size in enumerate(theirs):
+            if size:
+                mine[index] += size
 
     def timeseries(self, start: float = 0.0, end: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
         """Return (bin start times, bitrate in Mbps) over ``[start, end]``."""
-        if not self.bins:
+        bins = self._bins
+        if not bins:
             return np.array([]), np.array([])
-        last_bin = max(self.bins)
+        last_bin = len(bins) - 1
         end_bin = last_bin if end is None else int(end / self.bin_width_s)
         start_bin = int(start / self.bin_width_s)
         indices = np.arange(start_bin, end_bin + 1)
         times = indices * self.bin_width_s
-        mbps = np.array(
-            [self.bins.get(int(i), 0) * 8 / self.bin_width_s / 1e6 for i in indices]
-        )
+        counts = np.zeros(indices.size, dtype=np.float64)
+        lo = max(start_bin, 0)
+        hi = min(end_bin, last_bin)
+        if hi >= lo:
+            counts[lo - start_bin : hi - start_bin + 1] = bins[lo : hi + 1]
+        mbps = counts * 8 / self.bin_width_s / 1e6
         return times, mbps
 
     def total_bytes(self, start: float = 0.0, end: float = float("inf")) -> int:
-        return sum(
-            size
-            for index, size in self.bins.items()
-            if start <= index * self.bin_width_s < end
-        )
+        bins = self._bins
+        if not bins:
+            return 0
+        starts = np.arange(len(bins)) * self.bin_width_s
+        mask = (starts >= start) & (starts < end)
+        return int(np.asarray(bins, dtype=np.int64)[mask].sum())
 
     def mean_mbps(self, start: float, end: float) -> float:
         """Average bitrate over a window (Mbps)."""
@@ -91,7 +134,9 @@ class PacketCapture:
     ) -> None:
         self.sim = sim
         self.bin_width_s = bin_width_s
-        self.kinds = set(kinds) if kinds is not None else None
+        #: Allowed kinds as a frozenset of ints (PacketKind is an IntEnum),
+        #: so the per-packet check is an int-hash membership test.
+        self.kinds = frozenset(kinds) if kinds is not None else None
         self._series: dict[tuple[str, str, str], FlowSeries] = {}
         self._hosts: list[str] = []
 
@@ -99,7 +144,9 @@ class PacketCapture:
     def attach(self, host: Host) -> None:
         """Start capturing at a host (both directions)."""
         self._hosts.append(host.name)
-        host.taps.append(lambda direction, packet, name=host.name: self._record(name, direction, packet))
+        # functools.partial dispatches at C level; a lambda would add a
+        # Python frame to every captured packet.
+        host.taps.append(partial(self._record, host.name))
 
     def _record(self, host_name: str, direction: str, packet: Packet) -> None:
         if self.kinds is not None and packet.kind not in self.kinds:
@@ -109,7 +156,14 @@ class PacketCapture:
         if series is None:
             series = FlowSeries(packet.flow_id, direction, self.bin_width_s)
             self._series[key] = series
-        series.add(self.sim.now, packet.size_bytes)
+        # Inlined FlowSeries.add: this is the per-packet hot path.
+        index = int(self.sim._now / self.bin_width_s)
+        bins = series._bins
+        try:
+            bins[index] += packet.size_bytes
+        except IndexError:
+            bins.extend([0] * (index + 1 - len(bins)))
+            bins[index] += packet.size_bytes
 
     # ------------------------------------------------------------- queries
     def flow(self, host: str, direction: str, flow_id: str) -> FlowSeries:
@@ -136,6 +190,5 @@ class PacketCapture:
         for (h, d, flow_id), series in self._series.items():
             if h != host or d != direction or not flow_id.startswith(flow_prefix):
                 continue
-            for index, size in series.bins.items():
-                combined.bins[index] += size
+            combined.merge(series)
         return combined

@@ -12,16 +12,40 @@ Reproduces Figure 15:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
-from repro.core.analysis import aggregate_runs
+from repro.core.campaign import Condition, run_campaign
 from repro.core.profiles import PARTICIPANT_COUNTS
 from repro.core.results import FigureSeries
 from repro.media.layout import ViewMode
 from repro.experiments.common import run_multiparty_call
 from repro.experiments.static import DEFAULT_VCAS
 
-__all__ = ["run_participant_sweep"]
+__all__ = ["measure_participant_point", "run_participant_sweep"]
+
+
+def measure_participant_point(
+    vca: str,
+    n_participants: int,
+    mode: str = "gallery",
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> dict[str, float]:
+    """One repetition of one Figure 15 grid cell (campaign work unit)."""
+    view_mode = ViewMode.GALLERY if mode == "gallery" else ViewMode.SPEAKER
+    pinned = "C1" if mode == "speaker" else None
+    run = run_multiparty_call(
+        vca,
+        n_participants=n_participants,
+        mode=view_mode,
+        pinned=pinned,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return {
+        "up_mbps": run.mean_upstream_mbps(),
+        "down_mbps": run.mean_downstream_mbps(),
+    }
 
 
 def run_participant_sweep(
@@ -31,17 +55,17 @@ def run_participant_sweep(
     duration_s: float = 120.0,
     repetitions: int = 5,
     seed: int = 0,
+    workers: Optional[int | str] = None,
 ) -> dict[str, dict[str, FigureSeries]]:
     """Figure 15: C1's network utilization vs the number of participants.
 
     Returns ``{"uplink": {vca: series}, "downlink": {vca: series}}``.  In
     ``speaker`` mode every other participant pins C1 (Figure 15c measures the
-    pinned client's uplink).
+    pinned client's uplink).  ``workers`` fans the grid out over processes
+    via :func:`repro.core.campaign.run_campaign`.
     """
     if mode not in ("gallery", "speaker"):
         raise ValueError("mode must be 'gallery' or 'speaker'")
-    view_mode = ViewMode.GALLERY if mode == "gallery" else ViewMode.SPEAKER
-    pinned = "C1" if mode == "speaker" else None
     figure_up = "fig15b" if mode == "gallery" else "fig15c"
     uplink: dict[str, FigureSeries] = {
         vca: FigureSeries(figure_up, vca, "number of participants", "uplink bitrate (Mbps)")
@@ -51,22 +75,27 @@ def run_participant_sweep(
         vca: FigureSeries("fig15a", vca, "number of participants", "downlink bitrate (Mbps)")
         for vca in vcas
     }
-    for count in participant_counts:
-        for vca in vcas:
-            ups, downs = [], []
-            for repetition in range(repetitions):
-                run = run_multiparty_call(
-                    vca,
-                    n_participants=count,
-                    mode=view_mode,
-                    pinned=pinned,
-                    duration_s=duration_s,
-                    seed=seed + repetition,
-                )
-                ups.append(run.mean_upstream_mbps())
-                downs.append(run.mean_downstream_mbps())
-            up_summary = aggregate_runs(ups)
-            down_summary = aggregate_runs(downs)
-            uplink[vca].add_point(count, up_summary.mean, up_summary.ci_low, up_summary.ci_high)
-            downlink[vca].add_point(count, down_summary.mean, down_summary.ci_low, down_summary.ci_high)
+    counts = list(participant_counts)
+    grid = [(count, vca) for count in counts for vca in vcas]
+    conditions = [
+        Condition(
+            name=f"{vca}@n{count}-{mode}",
+            fn=measure_participant_point,
+            params={
+                "vca": vca,
+                "n_participants": count,
+                "mode": mode,
+                "duration_s": duration_s,
+            },
+            repetitions=repetitions,
+            seed=seed,
+        )
+        for count, vca in grid
+    ]
+    results = run_campaign(conditions, workers=workers)
+    for condition_result, (count, vca) in zip(results, grid):
+        up_summary = condition_result.summary("up_mbps")
+        down_summary = condition_result.summary("down_mbps")
+        uplink[vca].add_point(count, up_summary.mean, up_summary.ci_low, up_summary.ci_high)
+        downlink[vca].add_point(count, down_summary.mean, down_summary.ci_low, down_summary.ci_high)
     return {"uplink": uplink, "downlink": downlink}

@@ -12,12 +12,20 @@ defaults reproduces the paper-scale campaign.
 
 from __future__ import annotations
 
+import functools
+import inspect
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Optional
 
 from repro.experiments import competition, disruption, modality, static
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -28,6 +36,14 @@ class ExperimentSpec:
     description: str
     section: str
     driver: Callable
+
+    @property
+    def supports_workers(self) -> bool:
+        """Whether the driver can fan its grid out over a process pool."""
+        try:
+            return "workers" in inspect.signature(self.driver).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            return False
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
@@ -43,13 +59,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "fig1a",
             "Median bitrate vs uplink capacity",
             "3.1",
-            lambda **kw: static.run_capacity_sweep(direction="up", **kw),
+            functools.partial(static.run_capacity_sweep, direction="up"),
         ),
         ExperimentSpec(
             "fig1b",
             "Median bitrate vs downlink capacity",
             "3.1",
-            lambda **kw: static.run_capacity_sweep(direction="down", **kw),
+            functools.partial(static.run_capacity_sweep, direction="down"),
         ),
         ExperimentSpec(
             "fig1c",
@@ -73,25 +89,25 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "fig4a",
             "Upstream bitrate trace around a 30 s uplink disruption",
             "4.1",
-            lambda **kw: disruption.run_disruption_timeseries(direction="up", **kw),
+            functools.partial(disruption.run_disruption_timeseries, direction="up"),
         ),
         ExperimentSpec(
             "fig4b",
             "Time to recovery vs uplink disruption severity",
             "4.1",
-            lambda **kw: disruption.run_ttr_sweep(direction="up", **kw),
+            functools.partial(disruption.run_ttr_sweep, direction="up"),
         ),
         ExperimentSpec(
             "fig5a",
             "Downstream bitrate trace around a 30 s downlink disruption",
             "4.2",
-            lambda **kw: disruption.run_disruption_timeseries(direction="down", **kw),
+            functools.partial(disruption.run_disruption_timeseries, direction="down"),
         ),
         ExperimentSpec(
             "fig5b",
             "Time to recovery vs downlink disruption severity",
             "4.2",
-            lambda **kw: disruption.run_ttr_sweep(direction="down", **kw),
+            functools.partial(disruption.run_ttr_sweep, direction="down"),
         ),
         ExperimentSpec(
             "fig6",
@@ -103,7 +119,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "fig8",
             "Uplink share of incumbent VCA vs competing VCA at 0.5 Mbps",
             "5.1",
-            lambda **kw: competition.run_vca_vs_vca(direction="up", **kw),
+            functools.partial(competition.run_vca_vs_vca, direction="up"),
         ),
         ExperimentSpec(
             "fig9",
@@ -115,7 +131,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "fig10",
             "Downlink share of incumbent VCA vs competing VCA at 0.5 Mbps",
             "5.1",
-            lambda **kw: competition.run_vca_vs_vca(direction="down", **kw),
+            functools.partial(competition.run_vca_vs_vca, direction="down"),
         ),
         ExperimentSpec(
             "fig11",
@@ -145,13 +161,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "fig15ab",
             "Uplink/downlink utilization vs participant count (gallery mode)",
             "6.1",
-            lambda **kw: modality.run_participant_sweep(mode="gallery", **kw),
+            functools.partial(modality.run_participant_sweep, mode="gallery"),
         ),
         ExperimentSpec(
             "fig15c",
             "Uplink utilization vs participant count when pinned (speaker mode)",
             "6.2",
-            lambda **kw: modality.run_participant_sweep(mode="speaker", **kw),
+            functools.partial(modality.run_participant_sweep, mode="speaker"),
         ),
     )
 }
@@ -169,3 +185,25 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 def list_experiments() -> list[str]:
     """All known experiment identifiers, sorted."""
     return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str,
+    workers: Optional[int | str] = None,
+    **kwargs: Any,
+):
+    """Run one experiment by id, optionally over a process pool.
+
+    ``workers`` is forwarded to drivers whose grids support the parallel
+    campaign runner (:attr:`ExperimentSpec.supports_workers`); for the
+    remaining drivers a non-``None`` value raises so a typo'd campaign
+    doesn't silently run serially.
+    """
+    spec = get_experiment(experiment_id)
+    if workers is not None:
+        if not spec.supports_workers:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not support parallel workers"
+            )
+        kwargs["workers"] = workers
+    return spec.driver(**kwargs)

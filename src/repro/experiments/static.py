@@ -16,12 +16,14 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from repro.core.analysis import aggregate_runs
+from repro.core.campaign import Condition, run_campaign
 from repro.core.profiles import STATIC_SHAPING_LEVELS_MBPS, static_profile
 from repro.core.results import FigureSeries, TableResult
 from repro.experiments.common import run_two_party_call
 
 __all__ = [
     "DEFAULT_VCAS",
+    "measure_capacity_point",
     "run_unconstrained_utilization",
     "run_capacity_sweep",
     "run_platform_comparison",
@@ -73,6 +75,32 @@ def run_unconstrained_utilization(
     return table
 
 
+def measure_capacity_point(
+    vca: str,
+    direction: str,
+    capacity_mbps: float,
+    duration_s: float = 150.0,
+    seed: int = 0,
+) -> dict[str, float]:
+    """One repetition of one Figure 1 grid cell (campaign work unit).
+
+    Module-level (hence picklable) so :func:`repro.core.campaign.run_campaign`
+    can execute it in a worker process.
+    """
+    up_profile, down_profile = _profile_for(direction, capacity_mbps)
+    run = run_two_party_call(
+        vca,
+        up_profile=up_profile,
+        down_profile=down_profile,
+        duration_s=duration_s,
+        seed=seed,
+        collect_stats=False,
+    )
+    if direction == "up":
+        return {"median_mbps": run.median_upstream_mbps()}
+    return {"median_mbps": run.median_downstream_mbps()}
+
+
 def run_capacity_sweep(
     direction: str = "up",
     vcas: Sequence[str] = DEFAULT_VCAS,
@@ -80,8 +108,14 @@ def run_capacity_sweep(
     duration_s: float = 150.0,
     repetitions: int = 5,
     seed: int = 0,
+    workers: Optional[int | str] = None,
 ) -> dict[str, FigureSeries]:
-    """Figure 1a/1b: median bitrate vs shaped capacity, one series per VCA."""
+    """Figure 1a/1b: median bitrate vs shaped capacity, one series per VCA.
+
+    ``workers`` fans the (level x vca x repetition) grid out over processes
+    via :func:`repro.core.campaign.run_campaign`; the default (serial)
+    produces identical numbers.
+    """
     figure_id = "fig1a" if direction == "up" else "fig1b"
     series: dict[str, FigureSeries] = {
         vca: FigureSeries(
@@ -92,25 +126,29 @@ def run_capacity_sweep(
         )
         for vca in vcas
     }
-    for level in levels_mbps:
-        up_profile, down_profile = _profile_for(direction, level)
-        for vca in vcas:
-            values = []
-            for repetition in range(repetitions):
-                run = run_two_party_call(
-                    vca,
-                    up_profile=up_profile,
-                    down_profile=down_profile,
-                    duration_s=duration_s,
-                    seed=seed + repetition,
-                    collect_stats=False,
-                )
-                if direction == "up":
-                    values.append(run.median_upstream_mbps())
-                else:
-                    values.append(run.median_downstream_mbps())
-            summary = aggregate_runs(values)
-            series[vca].add_point(level, summary.median, summary.ci_low, summary.ci_high)
+    levels = list(levels_mbps)
+    conditions = [
+        Condition(
+            name=f"{vca}@{level}{direction}",
+            fn=measure_capacity_point,
+            params={
+                "vca": vca,
+                "direction": direction,
+                "capacity_mbps": level,
+                "duration_s": duration_s,
+            },
+            repetitions=repetitions,
+            seed=seed,
+        )
+        for level in levels
+        for vca in vcas
+    ]
+    results = run_campaign(conditions, workers=workers)
+    for condition_result, (level, vca) in zip(
+        results, ((level, vca) for level in levels for vca in vcas)
+    ):
+        summary = condition_result.summary("median_mbps")
+        series[vca].add_point(level, summary.median, summary.ci_low, summary.ci_high)
     return series
 
 
@@ -121,6 +159,7 @@ def run_platform_comparison(
     duration_s: float = 150.0,
     repetitions: int = 5,
     seed: int = 0,
+    workers: Optional[int | str] = None,
 ) -> dict[str, FigureSeries]:
     """Figure 1c: native vs Chrome clients under uplink shaping."""
     result = run_capacity_sweep(
@@ -130,6 +169,7 @@ def run_platform_comparison(
         duration_s=duration_s,
         repetitions=repetitions,
         seed=seed,
+        workers=workers,
     )
     for series in result.values():
         series.figure_id = "fig1c"

@@ -13,12 +13,44 @@ Per-link counters (:class:`LinkStats`) record everything the analysis layer
 needs: delivered/dropped packets and bytes, and a time series of queue
 occupancy samples used to diagnose bufferbloat-style behaviour in the
 competition experiments.
+
+Fast path
+---------
+
+Arrivals are FIFO and the propagation delay is fixed, so the whole life of a
+packet on the link is computable at arrival time::
+
+    start      = max(arrival, done of predecessor)   # service start
+    done       = start + size_bits / current_rate    # serialization complete
+    deliver_at = done + delay_s                      # at the sink
+
+which is exactly the cascade the event-per-stage implementation produces,
+just evaluated eagerly.  The fast path therefore keeps a pending deque of
+``[arrival, start, done, deliver_at, packet]`` records and **one** heap event
+per link -- the delivery of the head record -- instead of one serialization
+plus one propagation event per packet; every callback is a bound method, so
+no closures are allocated on the data path.  Rate changes from the shaper
+re-run the cascade over the records whose service has not started yet (the
+packet in service keeps its old rate, as in the event-driven version) and
+re-arm the delivery event.  Queue occupancy is maintained lazily: a record
+occupies the queue from arrival until its service start passes the clock.
+
+Random loss is decided when the delivery event fires rather than at
+serialization completion; the per-packet decisions and their order are
+unchanged, but the draws interleave differently with other consumers of the
+simulator RNG, so seeds produce different (equally valid) loss patterns than
+the legacy path on lossy links.
+
+``Link(..., legacy=True)`` preserves the original one-event-per-packet
+scheduling (closures included) so equivalence tests and the engine
+microbenchmark can compare the two paths on identical seeds.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
@@ -31,8 +63,11 @@ __all__ = ["Link", "LinkStats", "DEFAULT_QUEUE_BYTES"]
 #: the paper's Turris Omnia router.
 DEFAULT_QUEUE_BYTES = 64_000
 
+# Record field indices of the fast path's pending entries.
+_ARRIVAL, _START, _DONE, _DELIVER, _PACKET = range(5)
 
-@dataclass
+
+@dataclass(slots=True)
 class LinkStats:
     """Aggregate counters maintained by a :class:`Link`."""
 
@@ -71,7 +106,29 @@ class Link:
         Independent random loss probability applied to packets that survive
         the queue (models residual last-mile loss; zero by default because
         the paper's testbed used wired links).
+    legacy:
+        Use the original per-packet event scheduling instead of the
+        single-event fast path (for equivalence tests and benchmarks only).
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_rate_bps",
+        "delay_s",
+        "queue_bytes",
+        "loss_rate",
+        "stats",
+        "_queue",
+        "_queued_bytes",
+        "_busy",
+        "_sink",
+        "on_drop",
+        "legacy",
+        "_pending",
+        "_waiting",
+        "_delivery_seq",
+    )
 
     def __init__(
         self,
@@ -81,6 +138,7 @@ class Link:
         delay_s: float = 0.005,
         queue_bytes: int = DEFAULT_QUEUE_BYTES,
         loss_rate: float = 0.0,
+        legacy: bool = False,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
@@ -93,11 +151,19 @@ class Link:
         self.queue_bytes = int(queue_bytes)
         self.loss_rate = float(loss_rate)
         self.stats = LinkStats()
+        self.legacy = bool(legacy)
 
+        #: Legacy-mode drop-tail queue (fast mode uses ``_pending``).
         self._queue: deque[Packet] = deque()
         self._queued_bytes = 0
         self._busy = False
         self._sink: Optional[Callable[[Packet], None]] = None
+        #: Fast path: per-packet ``[arrival, start, done, deliver_at, packet]``.
+        self._pending: deque[list] = deque()
+        #: Fast path: ``(service_start, size)`` of records still in the queue.
+        self._waiting: deque[tuple[float, int]] = deque()
+        #: Sequence number of the armed delivery event (None when idle).
+        self._delivery_seq: Optional[int] = None
         #: Called with a dropped packet; congestion controllers of locally
         #: originated traffic (e.g. a sender's own uplink) may subscribe to
         #: model immediate local loss detection, but by default losses are
@@ -111,28 +177,83 @@ class Link:
         return self._rate_bps
 
     def set_rate(self, rate_bps: float) -> None:
-        """Change the link capacity (the emulated ``tc class change``)."""
+        """Change the link capacity (the emulated ``tc class change``).
+
+        On the fast path the serialization cascade of every not-yet-started
+        packet is recomputed at the new rate (the packet in service keeps the
+        rate it started with, matching the event-driven behaviour) and the
+        delivery event is re-armed.
+        """
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
+        if float(rate_bps) == self._rate_bps:
+            return
         self._rate_bps = float(rate_bps)
+        if self.legacy or not self._pending:
+            return
+        sim = self.sim
+        now = sim._now
+        rate = self._rate_bps
+        delay = self.delay_s
+        prev_done: Optional[float] = None
+        waiting: deque[tuple[float, int]] = deque()
+        changed = False
+        for record in self._pending:
+            if record[_START] <= now and not changed:
+                # Already in (or past) service: keep its schedule.
+                prev_done = record[_DONE]
+                continue
+            start = record[_ARRIVAL] if prev_done is None or prev_done < record[_ARRIVAL] else prev_done
+            size = record[_PACKET].size_bytes
+            record[_START] = start
+            record[_DONE] = done = start + size * 8 / rate
+            record[_DELIVER] = done + delay
+            prev_done = done
+            changed = True
+            if start > now:
+                waiting.append((start, size))
+        if not changed:
+            return
+        # Queue-occupancy bookkeeping follows the recomputed service starts.
+        self._waiting = waiting
+        self._queued_bytes = sum(size for _, size in waiting)
+        if self._delivery_seq is not None:
+            sim.cancel_seq(self._delivery_seq)
+        sim._seq = seq = sim._seq + 1
+        self._delivery_seq = seq
+        heappush(sim._queue, (self._pending[0][_DELIVER], seq, self._deliver_due))
 
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Attach the downstream consumer (next link hop or receiving host)."""
         self._sink = sink
 
+    # ------------------------------------------------------------ occupancy
+    def _advance(self, now: float) -> None:
+        """Release queue occupancy of records whose service has started."""
+        waiting = self._waiting
+        queued = self._queued_bytes
+        while waiting and waiting[0][0] <= now:
+            queued -= waiting.popleft()[1]
+        self._queued_bytes = queued
+
     @property
     def queued_bytes(self) -> int:
         """Bytes currently waiting in the queue (excludes the packet in service)."""
+        if not self.legacy:
+            self._advance(self.sim._now)
         return self._queued_bytes
 
     @property
     def queue_depth(self) -> int:
         """Number of packets currently waiting in the queue."""
-        return len(self._queue)
+        if self.legacy:
+            return len(self._queue)
+        self._advance(self.sim._now)
+        return len(self._waiting)
 
     def queueing_delay_estimate(self) -> float:
         """Expected delay a newly arriving packet would see from the backlog."""
-        return (self._queued_bytes * 8) / self._rate_bps
+        return (self.queued_bytes * 8) / self._rate_bps
 
     # ------------------------------------------------------------ data path
     def send(self, packet: Packet) -> None:
@@ -143,18 +264,79 @@ class Link:
         """
         if self._sink is None:
             raise RuntimeError(f"link {self.name!r} has no sink connected")
-        if self._queued_bytes + packet.size_bytes > self.queue_bytes:
-            self.stats.packets_dropped += 1
-            self.stats.bytes_dropped += packet.size_bytes
-            if self.on_drop is not None:
-                self.on_drop(packet)
+        sim = self.sim
+        now = sim._now
+        size = packet.size_bytes
+        if self.legacy:
+            if self._queued_bytes + size > self.queue_bytes:
+                self._drop(packet, size)
+                return
+            packet.enqueued_at = now
+            self._queue.append(packet)
+            self._queued_bytes += size
+            if not self._busy:
+                self._serve_next()
             return
-        packet.enqueued_at = self.sim.now
-        self._queue.append(packet)
-        self._queued_bytes += packet.size_bytes
-        if not self._busy:
-            self._serve_next()
+        waiting = self._waiting
+        queued = self._queued_bytes
+        while waiting and waiting[0][0] <= now:
+            queued -= waiting.popleft()[1]
+        if queued + size > self.queue_bytes:
+            self._queued_bytes = queued
+            self._drop(packet, size)
+            return
+        packet.enqueued_at = now
+        pending = self._pending
+        if pending:
+            prev_done = pending[-1][_DONE]
+            start = prev_done if prev_done > now else now
+        else:
+            start = now
+        done = start + size * 8 / self._rate_bps
+        deliver_at = done + self.delay_s
+        pending.append([now, start, done, deliver_at, packet])
+        if start > now:
+            waiting.append((start, size))
+            queued += size
+        self._queued_bytes = queued
+        if self._delivery_seq is None:
+            sim._seq = seq = sim._seq + 1
+            self._delivery_seq = seq
+            heappush(sim._queue, (deliver_at, seq, self._deliver_due))
 
+    def _drop(self, packet: Packet, size: int) -> None:
+        self.stats.packets_dropped += 1
+        self.stats.bytes_dropped += size
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    def _deliver_due(self) -> None:
+        sim = self.sim
+        now = sim._now
+        pending = self._pending
+        stats = self.stats
+        sink = self._sink
+        loss_rate = self.loss_rate
+        while pending and pending[0][_DELIVER] <= now:
+            record = pending.popleft()
+            packet = record[_PACKET]
+            stats.packets_sent += 1
+            stats.bytes_sent += packet.size_bytes
+            queueing = record[_START] - record[_ARRIVAL]
+            if queueing > 0.0:
+                packet.queueing_delay += queueing
+            if loss_rate > 0.0 and sim.rng.random() < loss_rate:
+                stats.packets_lost_random += 1
+            else:
+                sink(packet)  # type: ignore[misc]
+        if pending:
+            sim._seq = seq = sim._seq + 1
+            self._delivery_seq = seq
+            heappush(sim._queue, (pending[0][_DELIVER], seq, self._deliver_due))
+        else:
+            self._delivery_seq = None
+
+    # --------------------------------------------------- legacy per-packet path
     def _serve_next(self) -> None:
         if not self._queue:
             self._busy = False
@@ -165,7 +347,7 @@ class Link:
         if packet.enqueued_at is not None:
             packet.queueing_delay += self.sim.now - packet.enqueued_at
         serialization = packet.size_bits / self._rate_bps
-        self.sim.schedule(serialization, lambda p=packet: self._transmit_done(p))
+        self.sim.call_in(serialization, lambda p=packet: self._transmit_done(p))
 
     def _transmit_done(self, packet: Packet) -> None:
         self.stats.packets_sent += 1
@@ -175,16 +357,16 @@ class Link:
         else:
             sink = self._sink
             assert sink is not None
-            self.sim.schedule(self.delay_s, lambda p=packet: sink(p))
+            self.sim.call_in(self.delay_s, lambda p=packet: sink(p))
         self._serve_next()
 
     # ---------------------------------------------------------- monitoring
     def sample_queue(self) -> None:
         """Record the current queue occupancy (used by the capture layer)."""
-        self.stats.queue_samples.append((self.sim.now, self._queued_bytes))
+        self.stats.queue_samples.append((self.sim.now, self.queued_bytes))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Link({self.name!r}, rate={self._rate_bps / 1e6:.2f} Mbps, "
-            f"queue={self._queued_bytes}/{self.queue_bytes} B)"
+            f"queue={self.queued_bytes}/{self.queue_bytes} B)"
         )

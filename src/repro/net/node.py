@@ -24,6 +24,19 @@ __all__ = ["Host"]
 class Host:
     """An endpoint machine in the emulated testbed."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "_egress",
+        "_flow_handlers",
+        "_default_handler",
+        "bytes_sent",
+        "bytes_received",
+        "packets_sent",
+        "packets_received",
+        "taps",
+    )
+
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
@@ -71,19 +84,21 @@ class Host:
             raise RuntimeError(f"host {self.name!r} has no egress configured")
         packet.src = self.name
         if packet.created_at == 0.0:
-            packet.created_at = self.sim.now
+            packet.created_at = self.sim._now
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
-        for tap in self.taps:
-            tap("tx", packet)
+        if self.taps:
+            for tap in self.taps:
+                tap("tx", packet)
         self._egress(packet)
 
     def receive(self, packet: Packet) -> None:
         """Deliver a packet arriving from the network to its flow handler."""
         self.bytes_received += packet.size_bytes
         self.packets_received += 1
-        for tap in self.taps:
-            tap("rx", packet)
+        if self.taps:
+            for tap in self.taps:
+                tap("rx", packet)
         handler = self._flow_handlers.get(packet.flow_id, self._default_handler)
         if handler is not None:
             handler(packet)

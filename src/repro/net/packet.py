@@ -7,13 +7,19 @@ belong to.  Media- and transport-specific metadata (RTP sequence numbers,
 frame identifiers, TCP sequence numbers, FEC group membership) travels in
 typed fields so the capture/analysis layer can compute the same statistics
 the paper derives from traffic captures and WebRTC stats.
+
+Packets are the single most-allocated object in a run (hundreds of thousands
+per emulated call), so the class is slotted, the ``meta`` dict is allocated
+lazily on first access (control packets such as audio, probes and thinned
+forwards never touch it), and :class:`PacketKind` is an ``IntEnum`` so the
+capture path dispatches on cheap int hashing/comparison rather than string
+hashing.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from enum import Enum
+from enum import IntEnum
 from typing import Any, Optional
 
 __all__ = ["Packet", "PacketKind", "RTP_HEADER_BYTES", "UDP_IP_HEADER_BYTES", "TCP_IP_HEADER_BYTES"]
@@ -32,7 +38,7 @@ TCP_IP_HEADER_BYTES = 40
 _packet_ids = itertools.count()
 
 
-class PacketKind(str, Enum):
+class PacketKind(IntEnum):
     """Coarse classification of emulated packets.
 
     The classification mirrors how the paper's analysis splits captured
@@ -40,18 +46,22 @@ class PacketKind(str, Enum):
     data, and bulk TCP/QUIC traffic from competing applications.
     """
 
-    RTP_VIDEO = "rtp_video"
-    RTP_AUDIO = "rtp_audio"
-    RTCP = "rtcp"
-    FEC = "fec"
-    SIGNALING = "signaling"
-    TCP_DATA = "tcp_data"
-    TCP_ACK = "tcp_ack"
-    QUIC_DATA = "quic_data"
-    QUIC_ACK = "quic_ack"
+    RTP_VIDEO = 0
+    RTP_AUDIO = 1
+    RTCP = 2
+    FEC = 3
+    SIGNALING = 4
+    TCP_DATA = 5
+    TCP_ACK = 6
+    QUIC_DATA = 7
+    QUIC_ACK = 8
+
+    @property
+    def label(self) -> str:
+        """Human-readable name as it appears in analysis output."""
+        return self.name.lower()
 
 
-@dataclass
 class Packet:
     """A single packet traversing the emulated network.
 
@@ -74,26 +84,76 @@ class Packet:
         Simulation time at which the sender handed the packet to the network.
     meta:
         Free-form per-packet metadata (frame id, simulcast layer, SVC layer,
-        FEC group, TCP byte range ...).
+        FEC group, TCP byte range ...).  Allocated lazily on first access.
     """
 
-    size_bytes: int
-    flow_id: str
-    src: str
-    dst: str
-    kind: PacketKind = PacketKind.RTP_VIDEO
-    seq: int = 0
-    created_at: float = 0.0
-    meta: dict[str, Any] = field(default_factory=dict)
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: Time the packet was enqueued on the most recent link (set by Link).
-    enqueued_at: Optional[float] = None
-    #: Cumulative queueing delay experienced so far along the path.
-    queueing_delay: float = 0.0
+    __slots__ = (
+        "size_bytes",
+        "flow_id",
+        "src",
+        "dst",
+        "kind",
+        "seq",
+        "created_at",
+        "_meta",
+        "_packet_id",
+        "enqueued_at",
+        "queueing_delay",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+    def __init__(
+        self,
+        size_bytes: int,
+        flow_id: str,
+        src: str,
+        dst: str,
+        kind: PacketKind = PacketKind.RTP_VIDEO,
+        seq: int = 0,
+        created_at: float = 0.0,
+        meta: Optional[dict[str, Any]] = None,
+        packet_id: Optional[int] = None,
+        enqueued_at: Optional[float] = None,
+        queueing_delay: float = 0.0,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.size_bytes = size_bytes
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.seq = seq
+        self.created_at = created_at
+        self._meta = meta
+        self._packet_id = packet_id
+        #: Time the packet was enqueued on the most recent link (set by Link).
+        self.enqueued_at = enqueued_at
+        #: Cumulative queueing delay experienced so far along the path.
+        self.queueing_delay = queueing_delay
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """Per-packet metadata dict, allocated on first access."""
+        m = self._meta
+        if m is None:
+            m = self._meta = {}
+        return m
+
+    @meta.setter
+    def meta(self, value: Optional[dict[str, Any]]) -> None:
+        self._meta = value
+
+    @property
+    def packet_id(self) -> int:
+        """Globally unique packet identifier, drawn lazily on first access."""
+        pid = self._packet_id
+        if pid is None:
+            pid = self._packet_id = next(_packet_ids)
+        return pid
+
+    @packet_id.setter
+    def packet_id(self, value: Optional[int]) -> None:
+        self._packet_id = value
 
     @property
     def size_bits(self) -> int:
@@ -109,6 +169,7 @@ class Packet:
         how the paper distinguishes C2's sent traffic from C1's received
         traffic when diagnosing relay-added FEC.
         """
+        meta = self._meta
         return Packet(
             size_bytes=self.size_bytes,
             flow_id=flow_id if flow_id is not None else self.flow_id,
@@ -117,5 +178,11 @@ class Packet:
             kind=self.kind,
             seq=self.seq,
             created_at=self.created_at,
-            meta=dict(self.meta),
+            meta=dict(meta) if meta else None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(id={self.packet_id}, {self.kind.label}, {self.size_bytes} B, "
+            f"flow={self.flow_id!r}, {self.src}->{self.dst}, seq={self.seq})"
         )

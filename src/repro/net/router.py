@@ -11,80 +11,178 @@ two kinds of forwarding entries:
   propagation delay without serialization or queueing (used for the
   unconstrained WAN path, keeping the event count low so large parameter
   sweeps stay fast).
+
+Delay routes are implemented by :class:`DelayPipe`: because the delay is
+fixed, deliveries are FIFO, so the pipe keeps a pending deque and at most one
+event in the simulator's heap (re-armed when it fires) instead of scheduling
+one closure-carrying event per packet.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from collections import deque
+from heapq import heappush
+from typing import Callable, Optional
 
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
 
-__all__ = ["Router", "ForwardingEntry"]
+__all__ = ["Router", "ForwardingEntry", "DelayPipe"]
 
 
-@dataclass
+class DelayPipe:
+    """Fixed-delay, infinite-capacity FIFO delivery to a receiver callable.
+
+    The emulated unconstrained WAN/LAN hop: packets come out ``delay_s``
+    after they went in, in order.  A single in-heap event serves the whole
+    pipe; every firing delivers all packets whose time has been reached and
+    re-arms for the next pending one.  With ``delay_s == 0`` the pipe
+    degenerates to a direct call.
+    """
+
+    __slots__ = ("sim", "delay_s", "receiver", "_transit", "_pending")
+
+    def __init__(
+        self, sim: Simulator, receiver: Callable[[Packet], None], delay_s: float = 0.0
+    ) -> None:
+        self.sim = sim
+        self.receiver = receiver
+        self.delay_s = float(delay_s)
+        self._transit: deque[tuple[float, Packet]] = deque()
+        self._pending = False
+
+    def send(self, packet: Packet) -> None:
+        """Accept a packet for delivery ``delay_s`` seconds from now."""
+        if self.delay_s <= 0.0:
+            self.receiver(packet)
+            return
+        sim = self.sim
+        deliver_at = sim._now + self.delay_s
+        self._transit.append((deliver_at, packet))
+        if not self._pending:
+            self._pending = True
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (deliver_at, seq, self._deliver_due))
+
+    def _deliver_due(self) -> None:
+        sim = self.sim
+        now = sim._now
+        transit = self._transit
+        receiver = self.receiver
+        receiver(transit.popleft()[1])
+        while transit and transit[0][0] <= now:
+            receiver(transit.popleft()[1])
+        if transit:
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (transit[0][0], seq, self._deliver_due))
+        else:
+            self._pending = False
+
+
 class ForwardingEntry:
     """One routing-table entry: either a link hop or a pure-delay hop."""
 
-    link: Optional[Link] = None
-    next_hop: Optional[Callable[[Packet], None]] = None
-    delay_s: float = 0.0
+    __slots__ = ("link", "next_hop", "delay_s", "_pipe")
+
+    def __init__(
+        self,
+        link: Optional[Link] = None,
+        next_hop: Optional[Callable[[Packet], None]] = None,
+        delay_s: float = 0.0,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.link = link
+        self.next_hop = next_hop
+        self.delay_s = delay_s
+        self._pipe: Optional[DelayPipe] = None
+        if link is None and next_hop is not None and delay_s > 0 and sim is not None:
+            self._pipe = DelayPipe(sim, next_hop, delay_s)
 
     def forward(self, sim: Simulator, packet: Packet) -> None:
         if self.link is not None:
             self.link.send(packet)
             return
+        pipe = self._pipe
+        if pipe is not None:
+            pipe.send(packet)
+            return
         assert self.next_hop is not None
         if self.delay_s > 0:
+            # Entry built without a simulator reference: fall back to a
+            # one-off event (rare; only hand-constructed entries hit this).
             sim.schedule(self.delay_s, lambda p=packet: self.next_hop(p))  # type: ignore[misc]
         else:
             self.next_hop(packet)
 
 
 class Router:
-    """A forwarding element with a destination-keyed routing table."""
+    """A forwarding element with a destination-keyed routing table.
+
+    The routing table is kept twice: ``_routes`` holds the descriptive
+    :class:`ForwardingEntry` objects, and ``_dispatch`` maps each destination
+    straight to the callable that moves the packet (``link.send``,
+    ``pipe.send`` or the receiver itself), so the per-packet path is a dict
+    lookup plus one call with no intermediate dispatch frames.
+    """
+
+    __slots__ = ("sim", "name", "_routes", "_dispatch", "_default", "_default_dispatch", "packets_forwarded")
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
         self._routes: dict[str, ForwardingEntry] = {}
+        self._dispatch: dict[str, Callable[[Packet], None]] = {}
         self._default: Optional[ForwardingEntry] = None
+        self._default_dispatch: Optional[Callable[[Packet], None]] = None
         self.packets_forwarded = 0
 
     # ----------------------------------------------------------- config
+    @staticmethod
+    def _entry_dispatch(entry: ForwardingEntry) -> Callable[[Packet], None]:
+        if entry.link is not None:
+            return entry.link.send
+        if entry._pipe is not None:
+            return entry._pipe.send
+        assert entry.next_hop is not None
+        return entry.next_hop
+
     def add_link_route(self, dst: str, link: Link) -> None:
         """Route packets destined to ``dst`` onto ``link``."""
-        self._routes[dst] = ForwardingEntry(link=link)
+        entry = ForwardingEntry(link=link)
+        self._routes[dst] = entry
+        self._dispatch[dst] = self._entry_dispatch(entry)
 
     def add_delay_route(
         self, dst: str, receiver: Callable[[Packet], None], delay_s: float = 0.0
     ) -> None:
         """Route packets destined to ``dst`` straight to ``receiver`` after a delay."""
-        self._routes[dst] = ForwardingEntry(next_hop=receiver, delay_s=delay_s)
+        entry = ForwardingEntry(next_hop=receiver, delay_s=delay_s, sim=self.sim)
+        self._routes[dst] = entry
+        self._dispatch[dst] = self._entry_dispatch(entry)
 
     def set_default_link(self, link: Link) -> None:
         """Default route over a link (e.g. 'everything else goes upstream')."""
         self._default = ForwardingEntry(link=link)
+        self._default_dispatch = self._entry_dispatch(self._default)
 
     def set_default_delay_route(
         self, receiver: Callable[[Packet], None], delay_s: float = 0.0
     ) -> None:
         """Default route delivered after a fixed delay."""
-        self._default = ForwardingEntry(next_hop=receiver, delay_s=delay_s)
+        self._default = ForwardingEntry(next_hop=receiver, delay_s=delay_s, sim=self.sim)
+        self._default_dispatch = self._entry_dispatch(self._default)
 
     # --------------------------------------------------------- data path
     def receive(self, packet: Packet) -> None:
         """Forward a packet according to the routing table."""
-        entry = self._routes.get(packet.dst, self._default)
-        if entry is None:
+        handler = self._dispatch.get(packet.dst, self._default_dispatch)
+        if handler is None:
             raise RuntimeError(
                 f"router {self.name!r} has no route for destination {packet.dst!r}"
             )
         self.packets_forwarded += 1
-        entry.forward(self.sim, packet)
+        handler(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Router({self.name!r}, routes={sorted(self._routes)})"

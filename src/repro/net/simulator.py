@@ -10,13 +10,24 @@ The paper's experiments are wall-clock driven (2.5-minute calls, 30-second
 disruptions, competing flows that start 30 seconds into a call); the
 simulator's :meth:`Simulator.run` mirrors that by executing events until a
 target time is reached.
+
+Fast path
+---------
+
+The heap holds plain ``(time, seq, callback)`` tuples, so ordering is
+resolved by C-level tuple comparison instead of a generated dataclass
+``__lt__``, and scheduling allocates nothing beyond the tuple itself.
+Cancellation is a *tombstone*: cancelling adds the event's sequence number
+to a set the run loop consults when the entry is popped.  Hot paths that
+never cancel (per-packet link events, delay pipes) use :meth:`Simulator.call_at`
+/ :meth:`Simulator.call_in`, which skip the handle allocation entirely;
+:meth:`Simulator.schedule` keeps the handle-returning API for callers that
+need :meth:`ScheduledEvent.cancel`.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
@@ -24,22 +35,28 @@ import numpy as np
 __all__ = ["Simulator", "ScheduledEvent", "PeriodicTask"]
 
 
-@dataclass(order=True)
 class ScheduledEvent:
-    """A single callback scheduled at an absolute simulation time.
+    """Cancellable handle for a callback scheduled at an absolute time.
 
-    Events compare on ``(time, seq)`` so that simultaneous events execute in
-    the order they were scheduled, which keeps runs deterministic.
+    Events compare on ``(time, seq)`` inside the simulator's heap so that
+    simultaneous events execute in the order they were scheduled, which
+    keeps runs deterministic.  The handle itself only carries what
+    :meth:`cancel` needs.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("_sim", "seq", "time", "cancelled")
+
+    def __init__(self, sim: "Simulator", seq: int, time: float) -> None:
+        self._sim = sim
+        self.seq = seq
+        self.time = time
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._tombstones.add(self.seq)
 
 
 class Simulator:
@@ -53,9 +70,12 @@ class Simulator:
         draw from :attr:`rng` so a run is fully reproducible from its seed.
     """
 
+    __slots__ = ("_queue", "_tombstones", "_seq", "_now", "rng", "seed", "_event_count")
+
     def __init__(self, seed: int = 0) -> None:
-        self._queue: list[ScheduledEvent] = []
-        self._counter = itertools.count()
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._tombstones: set[int] = set()
+        self._seq = 0
         self._now = 0.0
         self.rng = np.random.default_rng(seed)
         self.seed = seed
@@ -71,6 +91,39 @@ class Simulator:
         """Number of events executed so far (useful for ablation benches)."""
         return self._event_count
 
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the queue (including tombstoned)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------ fast path
+    def call_at(self, when: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute time ``when`` without a handle.
+
+        Returns the event's sequence number, which :meth:`cancel_seq` accepts;
+        callers that never cancel can ignore it.  This is the hot-path
+        scheduling primitive: no :class:`ScheduledEvent` is allocated.
+        """
+        if when < self._now:
+            when = self._now
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (when, seq, callback))
+        return seq
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` ``delay`` seconds from now without a handle."""
+        now = self._now
+        self._seq = seq = self._seq + 1
+        heapq.heappush(
+            self._queue, (now + delay if delay > 0.0 else now, seq, callback)
+        )
+        return seq
+
+    def cancel_seq(self, seq: int) -> None:
+        """Cancel an event by the sequence number ``call_at``/``call_in`` returned."""
+        self._tombstones.add(seq)
+
+    # ------------------------------------------------------------ public API
     def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
@@ -84,9 +137,8 @@ class Simulator:
         """Schedule ``callback`` at absolute simulation time ``when``."""
         if when < self._now:
             when = self._now
-        event = ScheduledEvent(time=when, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self.call_at(when, callback)
+        return ScheduledEvent(self, seq, when)
 
     def run(self, until: float) -> None:
         """Execute events in time order until the clock reaches ``until``.
@@ -95,26 +147,40 @@ class Simulator:
         if the queue drains earlier, so periodic samplers that stop early do
         not distort duration-normalised metrics.
         """
-        while self._queue and self._queue[0].time <= until:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._event_count += 1
-            event.callback()
-        self._now = max(self._now, until)
+        self._drain(until)
+        if self._now < until:
+            self._now = until
 
     def run_all(self, limit: float = float("inf")) -> None:
         """Run until the event queue is empty or the clock passes ``limit``."""
-        while self._queue:
-            if self._queue[0].time > limit:
-                break
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._event_count += 1
-            event.callback()
+        self._drain(limit)
+
+    def _drain(self, bound: float) -> None:
+        """The dispatch loop shared by :meth:`run` and :meth:`run_all`."""
+        queue = self._queue
+        tombstones = self._tombstones
+        pop = heapq.heappop
+        push = heapq.heappush
+        count = self._event_count
+        try:
+            while queue:
+                entry = pop(queue)
+                if entry[0] > bound:
+                    push(queue, entry)
+                    break
+                if tombstones and entry[1] in tombstones:
+                    tombstones.discard(entry[1])
+                    continue
+                self._now = entry[0]
+                count += 1
+                entry[2]()
+        finally:
+            self._event_count = count
+        if not queue and tombstones:
+            # Any remaining tombstone belongs to an event that already fired
+            # (cancel-after-fire); once the queue is empty none of them can
+            # ever be popped, so drop them instead of leaking.
+            tombstones.clear()
 
     def every(
         self,
@@ -139,6 +205,8 @@ class Simulator:
 class PeriodicTask:
     """Handle for a repeating event created by :meth:`Simulator.every`."""
 
+    __slots__ = ("_sim", "_interval", "_callback", "_end", "_stopped", "_pending_seq")
+
     def __init__(
         self,
         sim: Simulator,
@@ -153,16 +221,17 @@ class PeriodicTask:
         self._callback = callback
         self._end = end
         self._stopped = False
-        self._pending: Optional[ScheduledEvent] = None
+        self._pending_seq: Optional[int] = None
 
     def _arm(self, when: float) -> None:
         if self._stopped:
             return
         if self._end is not None and when > self._end:
             return
-        self._pending = self._sim.schedule_at(when, self._fire)
+        self._pending_seq = self._sim.call_at(when, self._fire)
 
     def _fire(self) -> None:
+        self._pending_seq = None
         if self._stopped:
             return
         self._callback()
@@ -171,6 +240,6 @@ class PeriodicTask:
     def stop(self) -> None:
         """Cancel all future invocations."""
         self._stopped = True
-        if self._pending is not None:
-            self._pending.cancel()
-            self._pending = None
+        if self._pending_seq is not None:
+            self._sim.cancel_seq(self._pending_seq)
+            self._pending_seq = None

@@ -26,7 +26,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.net.link import DEFAULT_QUEUE_BYTES, Link
 from repro.net.node import Host
-from repro.net.router import Router
+from repro.net.router import DelayPipe, Router
 from repro.net.shaper import UNCONSTRAINED_BPS, BandwidthProfile, LinkShaper
 from repro.net.simulator import Simulator
 
@@ -155,14 +155,14 @@ def build_access_topology(
     for name in client_names[1:]:
         host = Host(sim, name)
         hosts[name] = host
-        host.set_egress(lambda p, _core=core: sim.schedule(wan_delay_s, lambda pkt=p: _core.receive(pkt)))
+        host.set_egress(DelayPipe(sim, core.receive, wan_delay_s).send)
         core.add_delay_route(name, host.receive, wan_delay_s)
 
     # Media server(s): co-located with the core (provider data centre).
     for name in (server_name, *extra_server_names):
         server = Host(sim, name)
         hosts[name] = server
-        server.set_egress(lambda p, _core=core: sim.schedule(DEFAULT_LAN_DELAY_S, lambda pkt=p: _core.receive(pkt)))
+        server.set_egress(DelayPipe(sim, core.receive, DEFAULT_LAN_DELAY_S).send)
         core.add_delay_route(name, server.receive, DEFAULT_LAN_DELAY_S)
 
     return AccessTopology(
@@ -205,9 +205,7 @@ def build_competition_topology(
     for name in local_clients:
         host = Host(sim, name)
         hosts[name] = host
-        host.set_egress(
-            lambda p, _switch=switch: sim.schedule(lan_delay_s, lambda pkt=p: _switch.receive(pkt))
-        )
+        host.set_egress(DelayPipe(sim, switch.receive, lan_delay_s).send)
         switch.add_delay_route(name, host.receive, lan_delay_s)
         router.add_link_route(name, bottleneck_down)
 
@@ -217,7 +215,7 @@ def build_competition_topology(
     for name in remote_names:
         host = Host(sim, name)
         hosts[name] = host
-        host.set_egress(lambda p, _core=core: sim.schedule(lan_delay_s, lambda pkt=p: _core.receive(pkt)))
+        host.set_egress(DelayPipe(sim, core.receive, lan_delay_s).send)
         core.add_delay_route(name, host.receive, lan_delay_s)
 
     for name in local_clients:

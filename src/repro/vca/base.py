@@ -293,7 +293,18 @@ class VCAClient:
         else:
             cap = self.profile.nominal_video_bps
         cap = min(cap, self.profile.nominal_video_bps)
-        self.controller.config.max_bitrate_bps = max(cap, self.controller.config.min_bitrate_bps)
+        ceiling = max(cap, self.controller.config.min_bitrate_bps)
+        self.controller.config.max_bitrate_bps = ceiling
+        # The client re-targets immediately when told that nobody displays it
+        # at a larger resolution: lowering only the ceiling would leave the
+        # current target above it, which a controller on an uncongested link
+        # never corrects (and the Zoom-style FBRA controller would misread as
+        # a post-disruption overshoot, padding the gap with sustained FEC).
+        # Figure 15b's uplink drop at five (Zoom) / seven (Meet) participants
+        # is this clamp taking effect.
+        if self.controller.target_bitrate_bps > ceiling:
+            self.controller.reset(ceiling)
+            self.encoder.set_target_bitrate(ceiling)
 
     # --------------------------------------------------------------- quirks
     def _schedule_stall(self) -> None:

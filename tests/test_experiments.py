@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.registry import run_experiment
 from repro.experiments.competition import run_competition, run_vca_vs_vca
 from repro.experiments.disruption import run_disruption_timeseries, run_ttr_sweep
 from repro.experiments.modality import run_participant_sweep
@@ -32,6 +33,25 @@ class TestRegistry:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             get_experiment("fig99")
+
+    def test_sweep_drivers_support_parallel_workers(self):
+        for experiment_id in ("fig1a", "fig1b", "fig1c", "fig15ab", "fig15c"):
+            assert get_experiment(experiment_id).supports_workers
+
+    def test_run_experiment_rejects_workers_on_serial_only_driver(self):
+        assert not get_experiment("fig4a").supports_workers
+        with pytest.raises(ValueError):
+            run_experiment("fig4a", workers=2)
+
+    def test_run_experiment_forwards_kwargs(self):
+        result = run_experiment(
+            "fig1a",
+            vcas=("meet",),
+            levels_mbps=(1.0,),
+            duration_s=30,
+            repetitions=1,
+        )
+        assert "meet" in result and len(result["meet"].x) == 1
 
 
 class TestStaticDrivers:
