@@ -30,6 +30,8 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from bench_io import record_bench_result
+
 from repro.core.capture import PacketCapture
 from repro.net.link import Link
 from repro.net.node import Host
@@ -405,6 +407,14 @@ def test_bench_engine_pure_scheduling():
         f"\npure scheduling: seed {seed_events / seed_wall:,.0f} ev/s, "
         f"fast {fast_events / fast_wall:,.0f} ev/s, speedup {speedup:.2f}x"
     )
+    record_bench_result(
+        "engine",
+        "test_bench_engine_pure_scheduling",
+        seed_wall_s=seed_wall,
+        fast_wall_s=fast_wall,
+        speedup=speedup,
+        events=N_EVENTS,
+    )
     assert speedup >= MIN_SCHEDULING_SPEEDUP
 
 
@@ -418,6 +428,14 @@ def test_bench_engine_packet_forwarding():
         f"({N_PACKETS / seed_wall:,.0f} pkt/s), fast {fast_events / fast_wall:,.0f} ev/s "
         f"({N_PACKETS / fast_wall:,.0f} pkt/s), speedup {speedup:.2f}x"
     )
+    record_bench_result(
+        "engine",
+        "test_bench_engine_packet_forwarding",
+        seed_wall_s=seed_wall,
+        fast_wall_s=fast_wall,
+        speedup=speedup,
+        packets=N_PACKETS,
+    )
     assert speedup >= MIN_FORWARDING_SPEEDUP
 
 
@@ -429,6 +447,14 @@ def test_bench_engine_capture_forwarding():
     print(
         f"\ncapture-attached forwarding: seed {seed_events / seed_wall:,.0f} ev/s, "
         f"fast {fast_events / fast_wall:,.0f} ev/s, speedup {speedup:.2f}x"
+    )
+    record_bench_result(
+        "engine",
+        "test_bench_engine_capture_forwarding",
+        seed_wall_s=seed_wall,
+        fast_wall_s=fast_wall,
+        speedup=speedup,
+        packets=N_PACKETS,
     )
     assert speedup >= MIN_CAPTURE_SPEEDUP
 
@@ -443,6 +469,14 @@ def test_bench_engine_coalescing_reduces_heap_events():
     print(
         f"\ncoalescing: per-packet link events {legacy_events:,} ({legacy_wall:.3f}s) "
         f"vs coalesced {fast_events:,} ({fast_wall:.3f}s)"
+    )
+    record_bench_result(
+        "engine",
+        "test_bench_engine_coalescing_reduces_heap_events",
+        legacy_events=legacy_events,
+        fast_events=fast_events,
+        legacy_wall_s=legacy_wall,
+        fast_wall_s=fast_wall,
     )
     # The event count is deterministic (unlike wall clock): the analytic
     # link must schedule strictly fewer heap events than per-packet mode.

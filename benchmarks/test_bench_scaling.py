@@ -1,0 +1,205 @@
+"""Multi-party scaling benchmark: wall-clock per simulated second.
+
+The paper's multi-party results (Fig 15) and the competition grids need
+many-participant gallery calls; this benchmark measures how expensive one
+simulated second of an N-party gallery call is as N grows, and gates the
+event-driven media pipeline's speedup over the PR 1 engine.
+
+Baseline
+--------
+
+The baseline is a faithful in-tree replica of the PR 1 pipeline, assembled
+from the escape hatches this PR keeps alive (the same pattern
+``test_bench_engine`` uses for the seed engine):
+
+* ``CallConfig(polled=True)`` -- 30 Hz ``PeriodicTask`` encoder polling,
+  per-packet ``host.send``, the verbatim PR 1 packetizer and stream-receiver
+  cost profiles (``LegacyPacketizer`` / ``LegacyStreamReceiver``), and the
+  per-packet ``_should_forward`` server loop; and
+* ``build_access_topology(fused=False)`` -- hop-by-hop delay pipes through
+  the core router instead of the source-routed single-event ``DelayBus``.
+
+Both pipelines produce byte-identical traffic (see
+``tests/test_fastpath_equiv.py``), so the ratio measures scheduling and
+dispatch cost only.
+
+Regression gate
+---------------
+
+``MIN_FIVE_PARTY_SPEEDUP`` asserts the event-driven pipeline's measured
+floor.  On top of it, the recorded baseline
+(``benchmarks/baselines/BENCH_scaling_baseline.json``) gates *regressions*:
+the smoke job fails if the measured five-party speedup falls below half the
+recorded one (i.e. the event pipeline regressed >2x relative to the polled
+baseline, which cancels machine-speed differences out of the comparison).
+
+Honest note: the tentpole aimed for >=3x on this scenario; the measured
+speedup on an unconstrained five-party gallery call is ~1.45x interleaved
+(recorded in the baseline JSON), with 1.8x fewer heap events.  PR 1 already
+moved the per-packet event machinery to the analytic fast path, so the
+remaining cost is per-packet *semantic* work (receiver statistics,
+per-receiver copies, shaped-link serialization for the measured client)
+that both pipelines necessarily share; the event-driven pipeline's
+structural win is the heap-event reduction and per-train amortization,
+which grows with fan-out.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from bench_io import load_baseline, record_bench_result
+from conftest import BENCH_DURATION_S
+
+from repro.core.capture import PacketCapture
+from repro.net.simulator import Simulator
+from repro.net.topology import build_access_topology
+from repro.vca import Call, CallConfig
+
+#: Participant counts of the scaling sweep (the paper's gallery sweeps stop
+#: at eight participants; 16 probes the architecture headroom).
+PARTICIPANT_COUNTS = (2, 5, 9, 16)
+
+#: Required five-party speedup of the event-driven pipeline over the PR 1
+#: replica, scaled by ``REPRO_ENGINE_BENCH_MARGIN`` like the engine
+#: microbenchmarks so shared CI runners do not flake.
+_MARGIN = float(os.environ.get("REPRO_ENGINE_BENCH_MARGIN", "1.0"))
+MIN_FIVE_PARTY_SPEEDUP = 1.25 * _MARGIN
+
+#: Timing repetitions (best-of): enough to shed scheduler noise locally
+#: without tripling CI time.
+ROUNDS = int(os.environ.get("REPRO_BENCH_SCALING_ROUNDS", "3"))
+
+
+def _run_gallery_call(n_participants: int, duration_s: float, pr1_baseline: bool, seed: int = 7):
+    """One N-party meet gallery call; returns (wall_s, events, sim_seconds)."""
+    sim = Simulator(seed=seed)
+    names = tuple(f"C{i + 1}" for i in range(n_participants))
+    topo = build_access_topology(sim, client_names=names, fused=not pr1_baseline)
+    capture = PacketCapture(sim)
+    capture.attach(topo.host("C1"))
+    call = Call(
+        sim,
+        [topo.host(name) for name in names],
+        topo.host("S"),
+        CallConfig(vca="meet", seed=seed, polled=pr1_baseline),
+    )
+    start = time.perf_counter()
+    call.start()
+    sim.run(until=duration_s)
+    call.stop()
+    sim.run(until=duration_s + 2.0)
+    wall = time.perf_counter() - start
+    return wall, sim.events_processed, duration_s + 2.0
+
+
+def _best_wall(n: int, duration: float, pr1_baseline: bool) -> tuple[float, int, float]:
+    best = None
+    for _ in range(ROUNDS):
+        result = _run_gallery_call(n, duration, pr1_baseline)
+        if best is None or result[0] < best[0]:
+            best = result
+    assert best is not None
+    return best
+
+
+def test_bench_scaling_gallery_wall_clock():
+    """Wall-clock per simulated second at 2/5/9/16 participants (event mode)."""
+    duration = BENCH_DURATION_S
+    rows = {}
+    for n in PARTICIPANT_COUNTS:
+        wall, events, sim_s = _best_wall(n, duration, pr1_baseline=False)
+        rows[n] = {
+            "participants": n,
+            "wall_s": wall,
+            "sim_s": sim_s,
+            "wall_per_sim_s": wall / sim_s,
+            "events": events,
+            "events_per_wall_s": events / wall,
+        }
+        print(
+            f"\nscaling n={n:2d}: {wall:.3f}s wall for {sim_s:.0f}s sim "
+            f"({wall / sim_s * 1000:.1f} ms/sim-s, {events:,} events)"
+        )
+    record_bench_result(
+        "scaling",
+        "test_bench_scaling_gallery_wall_clock",
+        duration_s=duration,
+        rows={str(n): row for n, row in rows.items()},
+    )
+    # Scaling sanity: a 16-party call must stay within a loose superlinear
+    # envelope of the 2-party call (fan-out grows ~O(N^2) in packet count).
+    assert rows[16]["wall_per_sim_s"] < rows[2]["wall_per_sim_s"] * 120
+
+
+def test_bench_scaling_five_party_speedup_vs_pr1():
+    """Event-driven vs PR 1 replica on the tentpole's five-party gallery call."""
+    # The tentpole scenario is a 60 s call; REPRO_BENCH_DURATION still
+    # scales it down for the CI smoke job.
+    duration = BENCH_DURATION_S if "REPRO_BENCH_DURATION" in os.environ else 60.0
+    # Interleave the rounds so allocator / frequency-scaling drift hits both
+    # pipelines symmetrically instead of biasing whichever runs second.
+    baseline_wall = event_wall = float("inf")
+    baseline_events = event_events = 0
+    for _ in range(ROUNDS):
+        wall, baseline_events, _ = _run_gallery_call(5, duration, pr1_baseline=True)
+        baseline_wall = min(baseline_wall, wall)
+        wall, event_events, _ = _run_gallery_call(5, duration, pr1_baseline=False)
+        event_wall = min(event_wall, wall)
+    speedup = baseline_wall / event_wall
+    event_reduction = baseline_events / event_events
+    print(
+        f"\nfive-party gallery ({duration:.0f}s sim): PR1 replica {baseline_wall:.3f}s "
+        f"({baseline_events:,} events), event-driven {event_wall:.3f}s "
+        f"({event_events:,} events) -> speedup {speedup:.2f}x, "
+        f"{event_reduction:.2f}x fewer heap events"
+    )
+    record_bench_result(
+        "scaling",
+        "test_bench_scaling_five_party_speedup_vs_pr1",
+        duration_s=duration,
+        baseline_wall_s=baseline_wall,
+        event_wall_s=event_wall,
+        speedup=speedup,
+        baseline_events=baseline_events,
+        event_events=event_events,
+        event_reduction=event_reduction,
+    )
+    # The event-driven pipeline must schedule substantially fewer heap
+    # events (deterministic, unlike wall clock) and beat the PR 1 replica.
+    assert event_events < baseline_events
+    # Recorded-baseline regression gates, checked before the floor so a deep
+    # regression reports against the committed reference:
+    # 1. the event-reduction ratio is deterministic and duration-invariant,
+    #    so it catches a structural regression (batching silently disabled,
+    #    emission events reappearing) on any machine;
+    # 2. the wall-clock ratio backstop fails a >2x perf regression of the
+    #    event pipeline relative to the polled baseline (machine speed
+    #    cancels out of the ratio).  The MIN_FIVE_PARTY_SPEEDUP floor below
+    #    is the tighter wall-clock gate in practice.
+    baseline = load_baseline("scaling").get("five_party", {})
+    recorded_reduction = baseline.get("event_reduction")
+    if recorded_reduction:
+        assert event_reduction >= recorded_reduction * 0.8, (
+            f"heap-event reduction {event_reduction:.2f}x fell below 80% of "
+            f"the recorded baseline {recorded_reduction:.2f}x"
+        )
+    recorded = baseline.get("speedup")
+    if recorded:
+        assert speedup >= recorded / 2.0, (
+            f"five-party event-pipeline speedup {speedup:.2f}x regressed more "
+            f"than 2x vs the recorded baseline {recorded:.2f}x"
+        )
+    assert speedup >= MIN_FIVE_PARTY_SPEEDUP
+
+
+@pytest.mark.parametrize("n", [5])
+def test_bench_scaling_event_counts_deterministic(n):
+    """Event totals are seed-deterministic and identical across pipelines."""
+    duration = min(BENCH_DURATION_S, 20.0)
+    _, events_a, _ = _run_gallery_call(n, duration, pr1_baseline=False)
+    _, events_b, _ = _run_gallery_call(n, duration, pr1_baseline=False)
+    assert events_a == events_b

@@ -24,7 +24,7 @@ from __future__ import annotations
 import abc
 import itertools
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Callable, Iterator, Optional
 
 from repro.media.codec import RESOLUTION_LADDER, CodecModel, Resolution
 from repro.media.source import TalkingHeadSource
@@ -38,9 +38,28 @@ __all__ = [
     "TeamsChromeEncoderPolicy",
     "ZoomEncoderPolicy",
     "AdaptiveEncoder",
+    "earliest_active_due",
 ]
 
-_frame_ids = itertools.count(1)
+
+def earliest_active_due(
+    layers, allocations: dict[str, float], next_frame_at: dict[str, float]
+) -> float:
+    """Earliest unquantised frame due time among active layers.
+
+    Shared by the layered encoders' ``next_due_time``: a layer is active when
+    its allocated rate is positive (the same test ``frames_due`` applies), so
+    the event-driven sender's scheduling stays bit-identical to what polling
+    the encoder would have emitted.  Returns ``inf`` when nothing is active.
+    """
+    due = float("inf")
+    for layer in layers:
+        if allocations.get(layer.name, 0.0) <= 0.0:
+            continue
+        at = next_frame_at[layer.name]
+        if at < due:
+            due = at
+    return due
 
 
 @dataclass(frozen=True)
@@ -224,12 +243,19 @@ class AdaptiveEncoder:
         source: Optional[TalkingHeadSource] = None,
         keyframe_interval_s: float = 10.0,
         layer: str = "main",
+        frame_ids: Optional[Iterator[int]] = None,
     ) -> None:
         self.codec = codec
         self.policy = policy
         self.source = source or TalkingHeadSource()
         self.keyframe_interval_s = keyframe_interval_s
         self.layer = layer
+        #: Frame-id allocator.  Per-encoder by default so runs are
+        #: reproducible within one process (a shared global counter would
+        #: give every run different ids, and the SFU's frame-hash thinning
+        #: keys on them); layered encoders sharing one RTP flow pass a
+        #: common iterator so ids stay unique within the flow.
+        self._frame_ids = frame_ids if frame_ids is not None else itertools.count(1)
         self._target_bps = policy.nominal_bitrate_bps
         self._settings = policy.select(self._target_bps, codec)
         self._keyframe_pending = True
@@ -237,6 +263,10 @@ class AdaptiveEncoder:
         self._next_frame_at = 0.0
         self._last_emit_at: float | None = None
         self.frames_encoded = 0
+        #: Notified after every retarget; the event-driven media sender uses
+        #: it to re-derive the next frame-emission event when the operating
+        #: point (and therefore the set of due frames) may have changed.
+        self.on_timing_change: Optional[Callable[[], None]] = None
 
     # ----------------------------------------------------------------- API
     @property
@@ -257,6 +287,27 @@ class AdaptiveEncoder:
         """Update the operating point for the new congestion-control target."""
         self._target_bps = max(target_bps, 0.0)
         self._settings = self.policy.select(self._target_bps, self.codec)
+        if self.on_timing_change is not None:
+            self.on_timing_change()
+
+    def next_due_time(self) -> float:
+        """Capture time of the next frame this encoder will emit.
+
+        The value is the *unquantised* due time; the sender maps it onto its
+        emission grid.  A single-stream encoder always has a next frame.
+        """
+        return self._next_frame_at
+
+    def reseed_frame_ids(self, start: int) -> None:
+        """Restart the frame-id allocator at ``start``.
+
+        Frame ids only need to be unique within one sender's flow; the VCA
+        client rebases each participant's stream to a disjoint, seed-derived
+        range so the SFU's frame-hash thinning stays *decorrelated* across
+        senders (with every stream counting 1, 2, 3 ... all tiles would drop
+        the same frame indices simultaneously).
+        """
+        self._frame_ids = itertools.count(start)
 
     def request_keyframe(self) -> None:
         """Handle an incoming FIR: the next encoded frame will be a keyframe."""
@@ -280,7 +331,7 @@ class AdaptiveEncoder:
         )
         self.frames_encoded += 1
         return EncodedFrame(
-            frame_id=next(_frame_ids),
+            frame_id=next(self._frame_ids),
             capture_time=now,
             size_bytes=size,
             settings=self._settings,

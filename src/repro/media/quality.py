@@ -28,7 +28,7 @@ class FreezeEvent:
     duration: float
 
 
-@dataclass
+@dataclass(slots=True)
 class FreezeTracker:
     """Detects freezes from frame display times using the paper's rule."""
 

@@ -18,11 +18,18 @@ is dropped altogether when the budget cannot sustain it.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.media.codec import CodecModel, Resolution
-from repro.media.encoder import AdaptiveEncoder, EncodedFrame, EncoderPolicy, EncoderSettings
+from repro.media.encoder import (
+    AdaptiveEncoder,
+    EncodedFrame,
+    EncoderPolicy,
+    EncoderSettings,
+    earliest_active_due,
+)
 from repro.media.source import TalkingHeadSource
 
 __all__ = ["SimulcastLayer", "SimulcastEncoder"]
@@ -87,6 +94,8 @@ class SimulcastEncoder:
         self.codec = codec
         self.layers = tuple(sorted(layers, key=lambda l: l.max_bitrate_bps))
         self.source = source or TalkingHeadSource()
+        # All copies share one RTP flow, so they share one frame-id space.
+        frame_ids = itertools.count(1)
         self._encoders: dict[str, AdaptiveEncoder] = {
             layer.name: AdaptiveEncoder(
                 codec,
@@ -94,6 +103,7 @@ class SimulcastEncoder:
                 source=self.source,
                 keyframe_interval_s=keyframe_interval_s,
                 layer=layer.name,
+                frame_ids=frame_ids,
             )
             for layer in self.layers
         }
@@ -102,6 +112,8 @@ class SimulcastEncoder:
         #: Per-layer cap requested by the SFU (e.g. when every receiver is
         #: constrained the server caps the top copy); ``None`` means no cap.
         self._layer_caps: dict[str, float] = {}
+        #: See :attr:`repro.media.encoder.AdaptiveEncoder.on_timing_change`.
+        self.on_timing_change: Optional[Callable[[], None]] = None
         self.set_target_bitrate(sum(l.max_bitrate_bps for l in self.layers))
 
     # ----------------------------------------------------------------- API
@@ -182,6 +194,24 @@ class SimulcastEncoder:
         for layer in self.layers:
             encoder = self._encoders[layer.name]
             encoder.set_target_bitrate(allocations.get(layer.name, 0.0))
+        if self.on_timing_change is not None:
+            # A reallocation can (re)activate a copy whose stale due time is
+            # in the past, making a frame due at the very next grid point.
+            self.on_timing_change()
+
+    def next_due_time(self) -> float:
+        """Earliest unquantised due time among the currently active copies."""
+        return earliest_active_due(self.layers, self._allocations, self._next_frame_at)
+
+    def reseed_frame_ids(self, start: int) -> None:
+        """Restart the shared frame-id allocator of all copies at ``start``.
+
+        See :meth:`repro.media.encoder.AdaptiveEncoder.reseed_frame_ids`;
+        the copies share one RTP flow, so they keep sharing one counter.
+        """
+        frame_ids = itertools.count(start)
+        for encoder in self._encoders.values():
+            encoder._frame_ids = frame_ids
 
     def request_keyframe(self, layer: Optional[str] = None) -> None:
         """Request a keyframe on one copy (or all copies)."""

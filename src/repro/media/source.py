@@ -61,10 +61,11 @@ class TalkingHeadSource:
         dt = max(now - self._last_time, 0.0)
         self._last_time = now
 
-        # AR(1) drift toward 1.0 with small innovations.
+        # AR(1) drift toward 1.0 with small innovations.  The clamp is plain
+        # min/max: this runs once per encoded frame and np.clip costs more
+        # than the whole AR update (same IEEE result either way).
         innovation = self._rng.normal(0.0, self._drift * min(dt * self.base_fps, 1.0))
-        self._state = 1.0 + 0.95 * (self._state - 1.0) + innovation
-        self._state = float(np.clip(self._state, 0.7, 1.4))
+        self._state = float(min(max(1.0 + 0.95 * (self._state - 1.0) + innovation, 0.7), 1.4))
 
         # Poisson-arriving gesture bursts.
         if self._burst is None or now > self._burst.until:

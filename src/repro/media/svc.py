@@ -19,17 +19,15 @@ top active layer gets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.media.codec import CodecModel, Resolution
-from repro.media.encoder import EncodedFrame, EncoderSettings
+from repro.media.encoder import EncodedFrame, EncoderSettings, earliest_active_due
 from repro.media.source import TalkingHeadSource
 
 __all__ = ["SVCLayer", "SVCEncoder"]
 
 import itertools
-
-_frame_ids = itertools.count(10_000_000)
 
 
 @dataclass(frozen=True)
@@ -78,6 +76,10 @@ class SVCEncoder:
         self._last_emit_at: dict[str, float] = {}
         self._keyframe_pending = True
         self._last_keyframe_at = -1e9
+        #: Per-instance frame-id allocator (see AdaptiveEncoder.frame_ids).
+        self._frame_ids = itertools.count(10_000_000)
+        #: See :attr:`repro.media.encoder.AdaptiveEncoder.on_timing_change`.
+        self.on_timing_change: Optional[Callable[[], None]] = None
         self.set_target_bitrate(self._target_bps)
 
     # ----------------------------------------------------------------- API
@@ -123,6 +125,16 @@ class SVCEncoder:
         """Re-plan the layer allocation for a new congestion-control target."""
         self._target_bps = max(target_bps, 0.0)
         self._allocations = self.layer_plan(self._target_bps)
+        if self.on_timing_change is not None:
+            self.on_timing_change()
+
+    def next_due_time(self) -> float:
+        """Earliest unquantised due time among the currently active layers."""
+        return earliest_active_due(self.layers, self._allocations, self._next_frame_at)
+
+    def reseed_frame_ids(self, start: int) -> None:
+        """Restart the frame-id allocator at ``start`` (see AdaptiveEncoder)."""
+        self._frame_ids = itertools.count(start)
 
     def request_keyframe(self, layer: Optional[str] = None) -> None:
         """Request that the next frames form a new decoder refresh point."""
@@ -130,18 +142,27 @@ class SVCEncoder:
 
     def frames_due(self, now: float) -> list[EncodedFrame]:
         """Encode due frames for every active layer."""
+        due_layers = [
+            layer
+            for layer in self.layers
+            if self._allocations.get(layer.name, 0.0) > 0.0
+            and now + 1e-9 >= self._next_frame_at[layer.name]
+        ]
+        if not due_layers:
+            return []
         keyframe = self._keyframe_pending or (
             now - self._last_keyframe_at >= self.keyframe_interval_s
         )
         frames: list[EncodedFrame] = []
+        # The complexity process advances only at capture instants: drawing
+        # it on no-op calls would make the RNG stream depend on how often the
+        # sender *asks* (30 Hz polling vs analytic emission events), breaking
+        # the pipelines' byte-identity whenever only a sub-30 fps layer is
+        # active.
         complexity = self.source.complexity(now)
         emitted_any = False
-        for layer in self.layers:
+        for layer in due_layers:
             rate = self._allocations.get(layer.name, 0.0)
-            if rate <= 0.0:
-                continue
-            if now + 1e-9 < self._next_frame_at[layer.name]:
-                continue
             interval = 1.0 / layer.fps
             last_emit = self._last_emit_at.get(layer.name)
             elapsed = now - last_emit if last_emit is not None else interval
@@ -154,7 +175,7 @@ class SVCEncoder:
             qp = self.codec.qp_for_bitrate(layer.resolution, layer.fps, max(rate, 1.0))
             frames.append(
                 EncodedFrame(
-                    frame_id=next(_frame_ids),
+                    frame_id=next(self._frame_ids),
                     capture_time=now,
                     size_bytes=max(int(frame_bits / 8), 150),
                     settings=EncoderSettings(resolution=layer.resolution, fps=layer.fps, qp=qp),

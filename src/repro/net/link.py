@@ -304,6 +304,53 @@ class Link:
             self._delivery_seq = seq
             heappush(sim._queue, (deliver_at, seq, self._deliver_due))
 
+    def send_batch(self, packets) -> None:
+        """Offer a whole packet train to the link in one transaction.
+
+        The serialization cascade of the train is computed in a single pass
+        (one queue-occupancy advance, at most one delivery-event arm) and is
+        identical to calling :meth:`send` once per packet in order.
+        """
+        if self._sink is None:
+            raise RuntimeError(f"link {self.name!r} has no sink connected")
+        if self.legacy:
+            for packet in packets:
+                self.send(packet)
+            return
+        sim = self.sim
+        now = sim._now
+        waiting = self._waiting
+        queued = self._queued_bytes
+        while waiting and waiting[0][0] <= now:
+            queued -= waiting.popleft()[1]
+        pending = self._pending
+        prev_done = pending[-1][_DONE] if pending else None
+        rate = self._rate_bps
+        delay = self.delay_s
+        queue_limit = self.queue_bytes
+        first_deliver: Optional[float] = None
+        for packet in packets:
+            size = packet.size_bytes
+            if queued + size > queue_limit:
+                self._drop(packet, size)
+                continue
+            packet.enqueued_at = now
+            start = prev_done if prev_done is not None and prev_done > now else now
+            done = start + size * 8 / rate
+            deliver_at = done + delay
+            pending.append([now, start, done, deliver_at, packet])
+            if start > now:
+                waiting.append((start, size))
+                queued += size
+            prev_done = done
+            if first_deliver is None:
+                first_deliver = deliver_at
+        self._queued_bytes = queued
+        if first_deliver is not None and self._delivery_seq is None:
+            sim._seq = seq = sim._seq + 1
+            self._delivery_seq = seq
+            heappush(sim._queue, (pending[0][_DELIVER], seq, self._deliver_due))
+
     def _drop(self, packet: Packet, size: int) -> None:
         self.stats.packets_dropped += 1
         self.stats.bytes_dropped += size

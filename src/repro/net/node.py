@@ -13,7 +13,7 @@ Hosts do two things:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
@@ -22,14 +22,25 @@ __all__ = ["Host"]
 
 
 class Host:
-    """An endpoint machine in the emulated testbed."""
+    """An endpoint machine in the emulated testbed.
+
+    Besides the per-packet :meth:`send` / :meth:`receive` pair, hosts carry a
+    batched path (:meth:`send_batch` / :meth:`receive_batch`) used by the
+    event-driven media pipeline: a packetized frame burst traverses the stack
+    as one Python call per hop instead of one call per packet.  Both paths
+    produce identical timestamps, counters and tap invocations; the batch
+    variants only amortize interpreter dispatch.
+    """
 
     __slots__ = (
         "sim",
         "name",
         "_egress",
+        "_egress_batch",
         "_flow_handlers",
+        "_flow_batch_handlers",
         "_default_handler",
+        "_default_batch_handler",
         "bytes_sent",
         "bytes_received",
         "packets_sent",
@@ -41,8 +52,11 @@ class Host:
         self.sim = sim
         self.name = name
         self._egress: Optional[Callable[[Packet], None]] = None
+        self._egress_batch: Optional[Callable[[Sequence[Packet]], None]] = None
         self._flow_handlers: dict[str, Callable[[Packet], None]] = {}
+        self._flow_batch_handlers: dict[str, Callable[[Sequence[Packet]], None]] = {}
         self._default_handler: Optional[Callable[[Packet], None]] = None
+        self._default_batch_handler: Optional[Callable[[Sequence[Packet]], None]] = None
         #: Per-host counters mirroring ``ifconfig``-style statistics.
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -53,23 +67,46 @@ class Host:
         self.taps: list[Callable[[str, Packet], None]] = []
 
     # ------------------------------------------------------------ wiring
-    def set_egress(self, egress: Callable[[Packet], None]) -> None:
-        """Attach the first-hop send function (done by the topology builder)."""
-        self._egress = egress
+    def set_egress(
+        self,
+        egress: Callable[[Packet], None],
+        batch: Optional[Callable[[Sequence[Packet]], None]] = None,
+    ) -> None:
+        """Attach the first-hop send function (done by the topology builder).
 
-    def register_flow(self, flow_id: str, handler: Callable[[Packet], None]) -> None:
+        ``batch``, when provided, accepts a whole packet train in one call
+        (``Link.send_batch`` / ``DelayPipe.send_batch``); without it,
+        :meth:`send_batch` falls back to per-packet egress.
+        """
+        self._egress = egress
+        self._egress_batch = batch
+
+    def register_flow(
+        self,
+        flow_id: str,
+        handler: Callable[[Packet], None],
+        batch_handler: Optional[Callable[[Sequence[Packet]], None]] = None,
+    ) -> None:
         """Register the receive handler for a flow terminating at this host."""
         if flow_id in self._flow_handlers:
             raise ValueError(f"flow {flow_id!r} already registered on {self.name}")
         self._flow_handlers[flow_id] = handler
+        if batch_handler is not None:
+            self._flow_batch_handlers[flow_id] = batch_handler
 
     def unregister_flow(self, flow_id: str) -> None:
         """Remove a flow handler (used when an application leaves the call)."""
         self._flow_handlers.pop(flow_id, None)
+        self._flow_batch_handlers.pop(flow_id, None)
 
-    def set_default_handler(self, handler: Callable[[Packet], None]) -> None:
+    def set_default_handler(
+        self,
+        handler: Callable[[Packet], None],
+        batch_handler: Optional[Callable[[Sequence[Packet]], None]] = None,
+    ) -> None:
         """Handler for packets whose flow has no dedicated handler."""
         self._default_handler = handler
+        self._default_batch_handler = batch_handler
 
     # --------------------------------------------------------- data path
     def send(self, packet: Packet) -> None:
@@ -92,6 +129,66 @@ class Host:
                 tap("tx", packet)
         self._egress(packet)
 
+    def send_batch(self, packets: Sequence[Packet]) -> None:
+        """Hand a train of packets to the network in one transaction.
+
+        Stamping, counters and taps are identical to calling :meth:`send`
+        once per packet; the egress hop is entered once for the whole train
+        when the first hop supports batches.
+        """
+        if not packets:
+            return
+        if self._egress is None:
+            raise RuntimeError(f"host {self.name!r} has no egress configured")
+        name = self.name
+        now = self.sim._now
+        taps = self.taps
+        size_total = 0
+        for packet in packets:
+            packet.src = name
+            if packet.created_at == 0.0:
+                packet.created_at = now
+            size_total += packet.size_bytes
+            if taps:
+                for tap in taps:
+                    tap("tx", packet)
+        self.bytes_sent += size_total
+        self.packets_sent += len(packets)
+        egress_batch = self._egress_batch
+        if egress_batch is not None:
+            egress_batch(packets)
+        else:
+            egress = self._egress
+            for packet in packets:
+                egress(packet)
+
+    def send_forwarded_batch(self, packets: Sequence[Packet], size_total: int) -> None:
+        """Send a train of already-stamped forwarded copies.
+
+        The media server constructs every copy with this host as ``src`` and
+        a propagated ``created_at``, and it has the train's byte total from
+        its own accounting, so the per-packet stamping pass of
+        :meth:`send_batch` is redundant; taps still see every packet.
+        """
+        if not packets:
+            return
+        if self.taps:
+            taps = self.taps
+            for packet in packets:
+                for tap in taps:
+                    tap("tx", packet)
+        self.bytes_sent += size_total
+        self.packets_sent += len(packets)
+        egress_batch = self._egress_batch
+        if egress_batch is not None:
+            egress_batch(packets)
+        else:
+            egress = self._egress
+            if egress is None:
+                raise RuntimeError(f"host {self.name!r} has no egress configured")
+            for packet in packets:
+                egress(packet)
+
     def receive(self, packet: Packet) -> None:
         """Deliver a packet arriving from the network to its flow handler."""
         self.bytes_received += packet.size_bytes
@@ -102,6 +199,62 @@ class Host:
         handler = self._flow_handlers.get(packet.flow_id, self._default_handler)
         if handler is not None:
             handler(packet)
+
+    def receive_batch(self, packets: Sequence[Packet]) -> None:
+        """Deliver a train of packets arriving together from the network.
+
+        Trains produced by the media pipeline are single-flow; one pass sums
+        the byte counters and checks flow homogeneity, then the train is
+        handed to the flow's batch handler in a single call.  Mixed-flow
+        trains fall back to runs of consecutive identical flow ids so handler
+        semantics match per-packet delivery exactly.
+        """
+        if not packets:
+            return
+        first = packets[0]
+        flow_id = first.flow_id
+        size_total = first.size_bytes
+        uniform = True
+        for packet in packets[1:] if len(packets) > 1 else ():
+            size_total += packet.size_bytes
+            if packet.flow_id != flow_id:
+                uniform = False
+        if self.taps:
+            taps = self.taps
+            for packet in packets:
+                for tap in taps:
+                    tap("rx", packet)
+        self.bytes_received += size_total
+        self.packets_received += len(packets)
+        if uniform:
+            self._dispatch_run(flow_id, packets)
+            return
+        start = 0
+        n = len(packets)
+        while start < n:
+            flow_id = packets[start].flow_id
+            end = start + 1
+            while end < n and packets[end].flow_id == flow_id:
+                end += 1
+            self._dispatch_run(flow_id, packets[start:end])
+            start = end
+
+    def _dispatch_run(self, flow_id: str, run: Sequence[Packet]) -> None:
+        handlers = self._flow_handlers
+        if flow_id in handlers:
+            batch_handler = self._flow_batch_handlers.get(flow_id)
+            if batch_handler is not None:
+                batch_handler(run)
+            else:
+                handler = handlers[flow_id]
+                for packet in run:
+                    handler(packet)
+        elif self._default_batch_handler is not None:
+            self._default_batch_handler(run)
+        elif self._default_handler is not None:
+            handler = self._default_handler
+            for packet in run:
+                handler(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Host({self.name!r})"

@@ -28,7 +28,7 @@ from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
 
-__all__ = ["Router", "ForwardingEntry", "DelayPipe"]
+__all__ = ["Router", "ForwardingEntry", "DelayPipe", "DelayBus", "SourceRoutedEgress"]
 
 
 class DelayPipe:
@@ -39,17 +39,28 @@ class DelayPipe:
     pipe; every firing delivers all packets whose time has been reached and
     re-arms for the next pending one.  With ``delay_s == 0`` the pipe
     degenerates to a direct call.
+
+    A packet train entering through :meth:`send_batch` stays one transit
+    record end to end: since every packet of the train shares the same
+    delivery time, the whole train is handed to ``receiver_batch`` (when the
+    downstream hop supports batches) in a single call.
     """
 
-    __slots__ = ("sim", "delay_s", "receiver", "_transit", "_pending")
+    __slots__ = ("sim", "delay_s", "receiver", "receiver_batch", "_transit", "_pending")
 
     def __init__(
-        self, sim: Simulator, receiver: Callable[[Packet], None], delay_s: float = 0.0
+        self,
+        sim: Simulator,
+        receiver: Callable[[Packet], None],
+        delay_s: float = 0.0,
+        receiver_batch: Optional[Callable[[list], None]] = None,
     ) -> None:
         self.sim = sim
         self.receiver = receiver
+        self.receiver_batch = receiver_batch
         self.delay_s = float(delay_s)
-        self._transit: deque[tuple[float, Packet]] = deque()
+        #: Pending deliveries: ``(deliver_at, Packet | list[Packet])``.
+        self._transit: deque[tuple[float, object]] = deque()
         self._pending = False
 
     def send(self, packet: Packet) -> None:
@@ -65,19 +76,184 @@ class DelayPipe:
             sim._seq = seq = sim._seq + 1
             heappush(sim._queue, (deliver_at, seq, self._deliver_due))
 
+    def send_batch(self, packets: list) -> None:
+        """Accept a packet train for delivery as one transit record."""
+        if not packets:
+            return
+        if packets.__class__ is not list:
+            # Transit records distinguish trains from single packets by
+            # ``is list``; normalise tuples and other sequences.
+            packets = list(packets)
+        if self.delay_s <= 0.0:
+            if self.receiver_batch is not None:
+                self.receiver_batch(packets)
+            else:
+                receiver = self.receiver
+                for packet in packets:
+                    receiver(packet)
+            return
+        sim = self.sim
+        deliver_at = sim._now + self.delay_s
+        self._transit.append((deliver_at, packets))
+        if not self._pending:
+            self._pending = True
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (deliver_at, seq, self._deliver_due))
+
+    def _deliver_item(self, item) -> None:
+        if item.__class__ is list:
+            if self.receiver_batch is not None:
+                self.receiver_batch(item)
+            else:
+                receiver = self.receiver
+                for packet in item:
+                    receiver(packet)
+        else:
+            self.receiver(item)
+
     def _deliver_due(self) -> None:
         sim = self.sim
         now = sim._now
         transit = self._transit
         receiver = self.receiver
-        receiver(transit.popleft()[1])
+        item = transit.popleft()[1]
+        if item.__class__ is list:
+            self._deliver_item(item)
+        else:
+            receiver(item)
         while transit and transit[0][0] <= now:
-            receiver(transit.popleft()[1])
+            item = transit.popleft()[1]
+            if item.__class__ is list:
+                self._deliver_item(item)
+            else:
+                receiver(item)
         if transit:
             sim._seq = seq = sim._seq + 1
             heappush(sim._queue, (transit[0][0], seq, self._deliver_due))
         else:
             self._pending = False
+
+
+class DelayBus:
+    """One-event FIFO delivering ``(callable, item)`` records after a shared delay.
+
+    Several same-delay destinations multiplexed over one transit deque and at
+    most one in-heap event.  This is the delivery engine of
+    :class:`SourceRoutedEgress`: a media server fanning a frame out to every
+    receiver pays one heap event per emission instant instead of one per
+    destination pipe, because all its destination paths share the same
+    data-centre + WAN delay.
+    """
+
+    __slots__ = ("sim", "delay_s", "_transit", "_pending")
+
+    def __init__(self, sim: Simulator, delay_s: float) -> None:
+        if delay_s <= 0.0:
+            raise ValueError("DelayBus requires a positive delay")
+        self.sim = sim
+        self.delay_s = float(delay_s)
+        #: Pending deliveries: ``(deliver_at, deliver_fn, item)``.
+        self._transit: deque[tuple[float, Callable, object]] = deque()
+        self._pending = False
+
+    def push(self, deliver_fn: Callable, item) -> None:
+        """Schedule ``deliver_fn(item)`` ``delay_s`` seconds from now."""
+        sim = self.sim
+        deliver_at = sim._now + self.delay_s
+        self._transit.append((deliver_at, deliver_fn, item))
+        if not self._pending:
+            self._pending = True
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (deliver_at, seq, self._deliver_due))
+
+    def _deliver_due(self) -> None:
+        sim = self.sim
+        now = sim._now
+        transit = self._transit
+        record = transit.popleft()
+        record[1](record[2])
+        while transit and transit[0][0] <= now:
+            record = transit.popleft()
+            record[1](record[2])
+        if transit:
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (transit[0][0], seq, self._deliver_due))
+        else:
+            self._pending = False
+
+
+class SourceRoutedEgress:
+    """Host egress that resolves the destination at send time.
+
+    The hop-by-hop path of the access topology (egress pipe -> core router ->
+    destination pipe) is semantically a fixed total delay for every
+    delay-only destination.  This egress looks the destination up once at
+    send time and delivers over a single-event :class:`DelayBus` with the
+    summed path delay -- identical arrival times and per-flow ordering, half
+    the heap events and none of the per-hop dispatch.  Destinations that are
+    not registered (e.g. behind a shaped link or another router) fall back to
+    the original hop-by-hop path.
+    """
+
+    __slots__ = ("bus", "_routes", "_routes_batch", "_fallback", "_fallback_batch")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_s: float,
+        fallback: Callable[[Packet], None],
+        fallback_batch: Optional[Callable[[list], None]] = None,
+    ) -> None:
+        self.bus = DelayBus(sim, delay_s)
+        self._routes: dict[str, Callable[[Packet], None]] = {}
+        self._routes_batch: dict[str, Callable[[list], None]] = {}
+        self._fallback = fallback
+        self._fallback_batch = fallback_batch
+
+    def add_route(
+        self,
+        dst: str,
+        receiver: Callable[[Packet], None],
+        receiver_batch: Optional[Callable[[list], None]] = None,
+    ) -> None:
+        """Register a destination deliverable at the bus's total path delay."""
+        self._routes[dst] = receiver
+        if receiver_batch is None:
+            def receiver_batch(packets, _receiver=receiver):  # type: ignore[misc]
+                for packet in packets:
+                    _receiver(packet)
+
+        self._routes_batch[dst] = receiver_batch
+
+    def send(self, packet: Packet) -> None:
+        receiver = self._routes.get(packet.dst)
+        if receiver is None:
+            self._fallback(packet)
+        else:
+            self.bus.push(receiver, packet)
+
+    def send_batch(self, packets: list) -> None:
+        if not packets:
+            return
+        dst = packets[0].dst
+        for packet in packets:
+            if packet.dst != dst:
+                # Mixed-destination train (not produced by the media path).
+                for item in packets:
+                    self.send(item)
+                return
+        receiver_batch = self._routes_batch.get(dst)
+        if receiver_batch is None:
+            if self._fallback_batch is not None:
+                self._fallback_batch(packets)
+            else:
+                fallback = self._fallback
+                for packet in packets:
+                    fallback(packet)
+            return
+        if packets.__class__ is not list:
+            packets = list(packets)
+        self.bus.push(receiver_batch, packets)
 
 
 class ForwardingEntry:
@@ -91,13 +267,14 @@ class ForwardingEntry:
         next_hop: Optional[Callable[[Packet], None]] = None,
         delay_s: float = 0.0,
         sim: Optional[Simulator] = None,
+        next_hop_batch: Optional[Callable[[list], None]] = None,
     ) -> None:
         self.link = link
         self.next_hop = next_hop
         self.delay_s = delay_s
         self._pipe: Optional[DelayPipe] = None
         if link is None and next_hop is not None and delay_s > 0 and sim is not None:
-            self._pipe = DelayPipe(sim, next_hop, delay_s)
+            self._pipe = DelayPipe(sim, next_hop, delay_s, receiver_batch=next_hop_batch)
 
     def forward(self, sim: Simulator, packet: Packet) -> None:
         if self.link is not None:
@@ -126,15 +303,27 @@ class Router:
     lookup plus one call with no intermediate dispatch frames.
     """
 
-    __slots__ = ("sim", "name", "_routes", "_dispatch", "_default", "_default_dispatch", "packets_forwarded")
+    __slots__ = (
+        "sim",
+        "name",
+        "_routes",
+        "_dispatch",
+        "_dispatch_batch",
+        "_default",
+        "_default_dispatch",
+        "_default_dispatch_batch",
+        "packets_forwarded",
+    )
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
         self._routes: dict[str, ForwardingEntry] = {}
         self._dispatch: dict[str, Callable[[Packet], None]] = {}
+        self._dispatch_batch: dict[str, Callable[[list], None]] = {}
         self._default: Optional[ForwardingEntry] = None
         self._default_dispatch: Optional[Callable[[Packet], None]] = None
+        self._default_dispatch_batch: Optional[Callable[[list], None]] = None
         self.packets_forwarded = 0
 
     # ----------------------------------------------------------- config
@@ -147,31 +336,58 @@ class Router:
         assert entry.next_hop is not None
         return entry.next_hop
 
+    @staticmethod
+    def _entry_dispatch_batch(
+        entry: ForwardingEntry, receiver_batch: Optional[Callable[[list], None]] = None
+    ) -> Optional[Callable[[list], None]]:
+        if entry.link is not None:
+            return entry.link.send_batch
+        if entry._pipe is not None:
+            return entry._pipe.send_batch
+        return receiver_batch
+
     def add_link_route(self, dst: str, link: Link) -> None:
         """Route packets destined to ``dst`` onto ``link``."""
         entry = ForwardingEntry(link=link)
         self._routes[dst] = entry
         self._dispatch[dst] = self._entry_dispatch(entry)
+        self._dispatch_batch[dst] = link.send_batch
 
     def add_delay_route(
-        self, dst: str, receiver: Callable[[Packet], None], delay_s: float = 0.0
+        self,
+        dst: str,
+        receiver: Callable[[Packet], None],
+        delay_s: float = 0.0,
+        receiver_batch: Optional[Callable[[list], None]] = None,
     ) -> None:
         """Route packets destined to ``dst`` straight to ``receiver`` after a delay."""
-        entry = ForwardingEntry(next_hop=receiver, delay_s=delay_s, sim=self.sim)
+        entry = ForwardingEntry(
+            next_hop=receiver, delay_s=delay_s, sim=self.sim, next_hop_batch=receiver_batch
+        )
         self._routes[dst] = entry
         self._dispatch[dst] = self._entry_dispatch(entry)
+        batch = self._entry_dispatch_batch(entry, receiver_batch)
+        if batch is not None:
+            self._dispatch_batch[dst] = batch
 
     def set_default_link(self, link: Link) -> None:
         """Default route over a link (e.g. 'everything else goes upstream')."""
         self._default = ForwardingEntry(link=link)
         self._default_dispatch = self._entry_dispatch(self._default)
+        self._default_dispatch_batch = link.send_batch
 
     def set_default_delay_route(
-        self, receiver: Callable[[Packet], None], delay_s: float = 0.0
+        self,
+        receiver: Callable[[Packet], None],
+        delay_s: float = 0.0,
+        receiver_batch: Optional[Callable[[list], None]] = None,
     ) -> None:
         """Default route delivered after a fixed delay."""
-        self._default = ForwardingEntry(next_hop=receiver, delay_s=delay_s, sim=self.sim)
+        self._default = ForwardingEntry(
+            next_hop=receiver, delay_s=delay_s, sim=self.sim, next_hop_batch=receiver_batch
+        )
         self._default_dispatch = self._entry_dispatch(self._default)
+        self._default_dispatch_batch = self._entry_dispatch_batch(self._default, receiver_batch)
 
     # --------------------------------------------------------- data path
     def receive(self, packet: Packet) -> None:
@@ -183,6 +399,40 @@ class Router:
             )
         self.packets_forwarded += 1
         handler(packet)
+
+    def receive_batch(self, packets: list) -> None:
+        """Forward a packet train (single destination per train) in one call.
+
+        Trains produced by the media pipeline are single-destination by
+        construction; a mixed train is split into per-destination runs so
+        behaviour matches per-packet forwarding exactly.
+        """
+        if not packets:
+            return
+        dst = packets[0].dst
+        for packet in packets[1:]:
+            if packet.dst != dst:
+                # Mixed train (not produced by the media path): fall back.
+                for item in packets:
+                    self.receive(item)
+                return
+        self.packets_forwarded += len(packets)
+        handler = self._dispatch_batch.get(dst)
+        if handler is not None:
+            handler(packets)
+            return
+        single = self._dispatch.get(dst)
+        if single is None:
+            if self._default_dispatch_batch is not None:
+                self._default_dispatch_batch(packets)
+                return
+            single = self._default_dispatch
+            if single is None:
+                raise RuntimeError(
+                    f"router {self.name!r} has no route for destination {dst!r}"
+                )
+        for packet in packets:
+            single(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Router({self.name!r}, routes={sorted(self._routes)})"

@@ -198,14 +198,32 @@ class Simulator:
         """
         task = PeriodicTask(self, interval, callback, end=end)
         first = self._now + interval if start is None else start
+        task._anchor = first
         task._arm(first)
         return task
 
 
 class PeriodicTask:
-    """Handle for a repeating event created by :meth:`Simulator.every`."""
+    """Handle for a repeating event created by :meth:`Simulator.every`.
 
-    __slots__ = ("_sim", "_interval", "_callback", "_end", "_stopped", "_pending_seq")
+    Firing times are anchored to the absolute start time: the ``n``-th
+    invocation runs at ``start + n * interval`` rather than ``previous +
+    interval``, so long campaigns do not accumulate floating-point drift in
+    RTCP/meter cadence (a 2.5-minute call at 4 Hz accumulates hundreds of
+    additions; the anchored form keeps every firing within one rounding of
+    the ideal grid).
+    """
+
+    __slots__ = (
+        "_sim",
+        "_interval",
+        "_callback",
+        "_end",
+        "_stopped",
+        "_pending_seq",
+        "_anchor",
+        "_count",
+    )
 
     def __init__(
         self,
@@ -222,6 +240,9 @@ class PeriodicTask:
         self._end = end
         self._stopped = False
         self._pending_seq: Optional[int] = None
+        #: First firing time; subsequent firings land on ``_anchor + n * interval``.
+        self._anchor: float = 0.0
+        self._count = 0
 
     def _arm(self, when: float) -> None:
         if self._stopped:
@@ -235,7 +256,8 @@ class PeriodicTask:
         if self._stopped:
             return
         self._callback()
-        self._arm(self._sim.now + self._interval)
+        self._count = count = self._count + 1
+        self._arm(self._anchor + count * self._interval)
 
     def stop(self) -> None:
         """Cancel all future invocations."""

@@ -26,7 +26,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.net.link import DEFAULT_QUEUE_BYTES, Link
 from repro.net.node import Host
-from repro.net.router import DelayPipe, Router
+from repro.net.router import DelayPipe, Router, SourceRoutedEgress
 from repro.net.shaper import UNCONSTRAINED_BPS, BandwidthProfile, LinkShaper
 from repro.net.simulator import Simulator
 
@@ -124,15 +124,28 @@ def build_access_topology(
     wan_delay_s: float = DEFAULT_WAN_DELAY_S,
     access_delay_s: float = DEFAULT_ACCESS_DELAY_S,
     queue_bytes: int = DEFAULT_QUEUE_BYTES,
+    fused: bool = True,
 ) -> AccessTopology:
     """Build the single-shaped-client topology.
 
     ``client_names[0]`` is the measured client (the paper's C1): it sits
     behind the shaped access link.  All other clients and all servers are
     reachable over unconstrained, delay-only paths.
+
+    With ``fused=True`` (the default) the delay-only paths are source-routed:
+    a host's egress resolves the destination immediately and delivers over a
+    single-event :class:`~repro.net.router.DelayBus` with the summed path
+    delay, instead of hopping egress pipe -> core router -> destination pipe.
+    Arrival times and per-flow ordering are identical; the hop-by-hop wiring
+    (``fused=False``) is kept for the PR 1 engine baseline in the scaling
+    benchmark.
     """
     if not client_names:
         raise ValueError("at least one client is required")
+    # Source routing delivers over a DelayBus, which needs a positive total
+    # path delay; a zero-delay topology keeps the hop-by-hop wiring (where
+    # DelayPipe degenerates to a direct call).
+    fused = fused and wan_delay_s + DEFAULT_LAN_DELAY_S > 0.0
     measured = client_names[0]
     hosts: dict[str, Host] = {}
 
@@ -146,24 +159,62 @@ def build_access_topology(
     downlink = Link(sim, f"{measured}-downlink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes)
     uplink.connect(home_router.receive)
     downlink.connect(c1.receive)
-    c1.set_egress(uplink.send)
+    c1.set_egress(uplink.send, batch=uplink.send_batch)
     home_router.add_link_route(measured, downlink)
-    home_router.set_default_delay_route(core.receive, wan_delay_s)
-    core.add_delay_route(measured, home_router.receive, wan_delay_s)
+    home_router.set_default_delay_route(
+        core.receive, wan_delay_s, receiver_batch=core.receive_batch
+    )
+    core.add_delay_route(
+        measured, home_router.receive, wan_delay_s, receiver_batch=home_router.receive_batch
+    )
+
+    server_names = (server_name, *extra_server_names)
 
     # Remaining clients: unconstrained, one WAN hop away from the core.
+    remote_clients: list[Host] = []
+    client_egresses: list[SourceRoutedEgress] = []
     for name in client_names[1:]:
         host = Host(sim, name)
         hosts[name] = host
-        host.set_egress(DelayPipe(sim, core.receive, wan_delay_s).send)
-        core.add_delay_route(name, host.receive, wan_delay_s)
+        remote_clients.append(host)
+        pipe = DelayPipe(sim, core.receive, wan_delay_s, receiver_batch=core.receive_batch)
+        if fused:
+            egress = SourceRoutedEgress(
+                sim, wan_delay_s + DEFAULT_LAN_DELAY_S, pipe.send, fallback_batch=pipe.send_batch
+            )
+            client_egresses.append(egress)
+            host.set_egress(egress.send, batch=egress.send_batch)
+        else:
+            host.set_egress(pipe.send, batch=pipe.send_batch)
+        core.add_delay_route(
+            name, host.receive, wan_delay_s, receiver_batch=host.receive_batch
+        )
 
     # Media server(s): co-located with the core (provider data centre).
-    for name in (server_name, *extra_server_names):
+    for name in server_names:
         server = Host(sim, name)
         hosts[name] = server
-        server.set_egress(DelayPipe(sim, core.receive, DEFAULT_LAN_DELAY_S).send)
-        core.add_delay_route(name, server.receive, DEFAULT_LAN_DELAY_S)
+        pipe = DelayPipe(sim, core.receive, DEFAULT_LAN_DELAY_S, receiver_batch=core.receive_batch)
+        if fused:
+            # The whole client fan-out shares one data-centre + WAN delay,
+            # so one DelayBus covers every destination of the server.
+            egress = SourceRoutedEgress(
+                sim, DEFAULT_LAN_DELAY_S + wan_delay_s, pipe.send, fallback_batch=pipe.send_batch
+            )
+            for client in remote_clients:
+                egress.add_route(client.name, client.receive, client.receive_batch)
+            egress.add_route(measured, home_router.receive, home_router.receive_batch)
+            server.set_egress(egress.send, batch=egress.send_batch)
+        else:
+            server.set_egress(pipe.send, batch=pipe.send_batch)
+        core.add_delay_route(
+            name, server.receive, DEFAULT_LAN_DELAY_S, receiver_batch=server.receive_batch
+        )
+
+    # Client egresses can source-route to the servers (wan + lan total).
+    for egress in client_egresses:
+        for name in server_names:
+            egress.add_route(name, hosts[name].receive, hosts[name].receive_batch)
 
     return AccessTopology(
         sim=sim,
@@ -205,21 +256,23 @@ def build_competition_topology(
     for name in local_clients:
         host = Host(sim, name)
         hosts[name] = host
-        host.set_egress(DelayPipe(sim, switch.receive, lan_delay_s).send)
-        switch.add_delay_route(name, host.receive, lan_delay_s)
+        pipe = DelayPipe(sim, switch.receive, lan_delay_s, receiver_batch=switch.receive_batch)
+        host.set_egress(pipe.send, batch=pipe.send_batch)
+        switch.add_delay_route(name, host.receive, lan_delay_s, receiver_batch=host.receive_batch)
         router.add_link_route(name, bottleneck_down)
 
     switch.set_default_link(bottleneck_up)
-    router.set_default_delay_route(core.receive, wan_delay_s)
+    router.set_default_delay_route(core.receive, wan_delay_s, receiver_batch=core.receive_batch)
 
     for name in remote_names:
         host = Host(sim, name)
         hosts[name] = host
-        host.set_egress(DelayPipe(sim, core.receive, lan_delay_s).send)
-        core.add_delay_route(name, host.receive, lan_delay_s)
+        pipe = DelayPipe(sim, core.receive, lan_delay_s, receiver_batch=core.receive_batch)
+        host.set_egress(pipe.send, batch=pipe.send_batch)
+        core.add_delay_route(name, host.receive, lan_delay_s, receiver_batch=host.receive_batch)
 
     for name in local_clients:
-        core.add_delay_route(name, router.receive, wan_delay_s)
+        core.add_delay_route(name, router.receive, wan_delay_s, receiver_batch=router.receive_batch)
 
     return CompetitionTopology(
         sim=sim,

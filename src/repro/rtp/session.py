@@ -7,6 +7,29 @@ FEC generator, and the host it sends from.  It is the per-participant
 "uplink" of a VCA call; the application model (``repro.vca``) wires its
 RTCP feedback path and decides where the stream terminates (media server or
 remote client).
+
+Event-driven emission
+---------------------
+
+The sender no longer polls the encoder at ``tick_hz``.  Emission instants
+still live on the same ``start + n / tick_hz`` grid the poller used (the
+grid is the model's capture-clock quantisation), but the sender computes the
+next grid point at which a frame is due *analytically* from the encoder's
+fps/GOP state and schedules exactly one simulator event there -- idle grid
+points cost nothing.  The scheduled event is re-derived only when the
+operating point changes (``set_target_bitrate`` via the encoder's
+``on_timing_change`` hook, e.g. a reallocation reactivating a simulcast copy
+whose stale due time is already in the past).  All frames due at one instant
+are packetized into a single packet train and handed to
+:meth:`repro.net.node.Host.send_batch` as one transaction.  Audio is a
+self-rescheduling event chain on the ``start + n * interval`` grid with no
+idle ticks.
+
+Because the grid and the due-time comparisons are bit-identical to the
+polled implementation, the two pipelines produce byte-identical traffic;
+``SenderConfig(polled=True)`` keeps the original :class:`PeriodicTask`
+pipeline alive for the equivalence suite and as the benchmark baseline,
+mirroring the link layer's ``legacy=True`` escape hatch.
 """
 
 from __future__ import annotations
@@ -21,10 +44,20 @@ from repro.net.node import Host
 from repro.net.packet import Packet
 from repro.net.simulator import PeriodicTask, Simulator
 from repro.rtp.fec import FecGenerator
-from repro.rtp.packetizer import DEFAULT_MTU_BYTES, Packetizer, make_audio_packet
+from repro.rtp.packetizer import (
+    DEFAULT_MTU_BYTES,
+    LegacyPacketizer,
+    Packetizer,
+    make_audio_packet,
+)
 from repro.rtp.rtcp import extract_report, is_fir
 
 __all__ = ["SenderConfig", "RtpStreamSender", "MediaEncoder"]
+
+#: Tolerance of the encoder due-time comparison (must match ``frames_due``).
+_DUE_EPS = 1e-9
+
+_INF = float("inf")
 
 
 class MediaEncoder(Protocol):
@@ -48,7 +81,8 @@ class MediaEncoder(Protocol):
 class SenderConfig:
     """Tunables of the sending pipeline."""
 
-    #: Base tick rate at which the sender polls the encoder for due frames.
+    #: Emission grid rate.  The event-driven sender schedules frame events on
+    #: this grid; the polled escape hatch polls the encoder at this rate.
     tick_hz: float = 30.0
     #: Audio bitrate; ~40 kbps matches the Opus streams the VCAs send.
     audio_bitrate_bps: float = 40_000.0
@@ -58,6 +92,9 @@ class SenderConfig:
     mtu_bytes: int = DEFAULT_MTU_BYTES
     #: Whether audio is sent at all (servers forwarding video-only legs skip it).
     send_audio: bool = True
+    #: Use the original 30 Hz polling pipeline instead of analytically
+    #: scheduled emission events (equivalence tests and benchmarks only).
+    polled: bool = False
 
 
 class RtpStreamSender:
@@ -85,15 +122,37 @@ class RtpStreamSender:
         self.rtcp_flow_id = rtcp_flow_id or f"{flow_id}:rtcp"
         self.on_target_change = on_target_change
 
-        self._packetizer = Packetizer(flow_id=flow_id, src=host.name, dst=dst, mtu_bytes=self.config.mtu_bytes)
+        packetizer_cls = LegacyPacketizer if self.config.polled else Packetizer
+        self._packetizer = packetizer_cls(
+            flow_id=flow_id, src=host.name, dst=dst, mtu_bytes=self.config.mtu_bytes
+        )
         self._fec = FecGenerator(flow_id=flow_id, src=host.name, dst=dst)
         self._audio_seq = itertools.count(1)
         self._tasks: list[PeriodicTask] = []
         self._running = False
+        #: Effective pipeline mode: config choice, or forced polled when the
+        #: encoder does not expose the analytic ``next_due_time`` API.
+        self._polled = self.config.polled or not hasattr(encoder, "next_due_time")
         #: While the simulation clock is before this time the encoder emits no
         #: frames (used to model spontaneous encoder stalls, e.g. the
         #: Teams-Chrome baseline freezes of Section 3.2).
         self.paused_until = 0.0
+
+        # Event-driven emission state.
+        self._tick = 1.0 / self.config.tick_hz
+        self._grid_start = 0.0
+        #: Sequence number of the armed media event (None when idle).
+        self._media_event_seq: Optional[int] = None
+        #: Grid index the armed media event will fire at.
+        self._media_event_index = 0
+        #: Lowest grid index the next media event may use (one past the last
+        #: fired index -- the poller likewise offers each grid point once).
+        self._media_floor = 0
+        # Audio event chain (anchored like PeriodicTask: anchor + n * interval).
+        self._audio_event_seq: Optional[int] = None
+        self._audio_anchor = 0.0
+        self._audio_count = 0
+        self._audio_next_time = float("inf")
 
         # Lifetime statistics (consumed by the WebRTC-stats collector).
         self.bytes_sent = 0
@@ -111,16 +170,26 @@ class RtpStreamSender:
             return
         self._running = True
         self.encoder.set_target_bitrate(self.controller.target_bitrate_bps)
-        tick = 1.0 / self.config.tick_hz
-        self._tasks.append(self.sim.every(tick, self._media_tick, start=self.sim.now + tick))
+        tick = self._tick
+        now = self.sim.now
+        if self._polled:
+            self._tasks.append(self.sim.every(tick, self._media_tick, start=now + tick))
+        else:
+            self._grid_start = now + tick
+            self._media_floor = 0
+            self.encoder.on_timing_change = self._on_encoder_timing_change  # type: ignore[attr-defined]
+            self._schedule_next_media()
         if self.config.send_audio:
-            self._tasks.append(
-                self.sim.every(
-                    self.config.audio_packet_interval_s,
-                    self._audio_tick,
-                    start=self.sim.now + self.config.audio_packet_interval_s,
+            interval = self.config.audio_packet_interval_s
+            if self._polled:
+                self._tasks.append(
+                    self.sim.every(interval, self._audio_tick, start=now + interval)
                 )
-            )
+            else:
+                self._audio_anchor = now + interval
+                self._audio_count = 0
+                self._audio_next_time = self._audio_anchor
+                self._audio_event_seq = self.sim.call_at(self._audio_anchor, self._audio_event)
 
     def stop(self) -> None:
         """Stop sending (the client left the call)."""
@@ -128,12 +197,148 @@ class RtpStreamSender:
         for task in self._tasks:
             task.stop()
         self._tasks.clear()
+        if self._media_event_seq is not None:
+            self.sim.cancel_seq(self._media_event_seq)
+            self._media_event_seq = None
+        if self._audio_event_seq is not None:
+            self.sim.cancel_seq(self._audio_event_seq)
+            self._audio_event_seq = None
 
     @property
     def is_running(self) -> bool:
         return self._running
 
-    # ------------------------------------------------------------ data path
+    # ----------------------------------------------- event-driven scheduling
+    def _grid_time(self, index: int) -> float:
+        return self._grid_start + index * self._tick
+
+    def _index_for_due(self, due: float) -> int:
+        """Smallest grid index whose time satisfies the due comparison.
+
+        ``frames_due`` emits at ``t`` iff ``t + 1e-9 >= due``; the initial
+        estimate from float division is fixed up with exact comparisons so
+        the chosen index matches the poller's behaviour bit for bit.
+        """
+        anchor = self._grid_start
+        tick = self._tick
+        k = int((due - anchor) / tick)
+        if k < 0:
+            k = 0
+        while anchor + k * tick + _DUE_EPS < due:
+            k += 1
+        while k > 0 and anchor + (k - 1) * tick + _DUE_EPS >= due:
+            k -= 1
+        return k
+
+    def _index_at_or_after(self, when: float) -> int:
+        """Smallest grid index whose time is ``>= when`` (no tolerance)."""
+        anchor = self._grid_start
+        tick = self._tick
+        k = int((when - anchor) / tick)
+        if k < 0:
+            k = 0
+        while anchor + k * tick < when:
+            k += 1
+        while k > 0 and anchor + (k - 1) * tick >= when:
+            k -= 1
+        return k
+
+    def _arm_media_at_index(self, index: int) -> None:
+        if self._media_event_seq is not None:
+            if self._media_event_index <= index:
+                return
+            self.sim.cancel_seq(self._media_event_seq)
+        self._media_event_index = index
+        self._media_event_seq = self.sim.call_at(self._grid_time(index), self._media_event)
+
+    def _schedule_next_media(self) -> None:
+        due = self.encoder.next_due_time()  # type: ignore[attr-defined]
+        if due == _INF:
+            return
+        index = self._index_for_due(due)
+        floor = self._media_floor
+        if index < floor:
+            index = floor
+        self._arm_media_at_index(index)
+
+    def _on_encoder_timing_change(self) -> None:
+        """Re-derive the armed emission event after a retarget.
+
+        A retarget never delays the pending due time, but it can *advance*
+        it (a reactivated copy/layer with a stale due time becomes due at the
+        next grid point), so the armed event only ever moves earlier.
+        """
+        if not self._running or self._polled:
+            return
+        due = self.encoder.next_due_time()  # type: ignore[attr-defined]
+        if due == _INF:
+            return
+        index = self._index_for_due(due)
+        floor = self._media_floor
+        if index < floor:
+            index = floor
+        now_index = self._index_at_or_after(self.sim._now)
+        if index < now_index:
+            index = now_index
+        self._arm_media_at_index(index)
+
+    def _media_event(self) -> None:
+        self._media_event_seq = None
+        if not self._running:
+            return
+        now = self.sim._now
+        if self._audio_next_time == now and self._audio_event_seq is not None:
+            # Exact grid collision with the audio chain.  The poller's audio
+            # task is always armed before its media task (audio interval >
+            # tick), so at equal timestamps audio runs first; defer emission
+            # behind the pending audio event within this instant.
+            self._media_event_seq = self.sim.call_at(now, self._media_event)
+            return
+        self._media_floor = self._media_event_index + 1
+        if now < self.paused_until:
+            # Stalled: the poller would skip every grid point before
+            # ``paused_until``; resume at the first one at or past it.
+            self._arm_media_at_index(self._index_at_or_after(self.paused_until))
+            return
+        frames = self.encoder.frames_due(now)
+        if frames:
+            fec_ratio = self.controller.fec_overhead_ratio(now)
+            packetizer = self._packetizer
+            if fec_ratio > 0:
+                train: list[Packet] = []
+                fec = self._fec
+                for frame in frames:
+                    packets = packetizer.packetize(frame, now)
+                    train.extend(packets)
+                    train.extend(fec.protect(packets, fec_ratio, now))
+            else:
+                train = packetizer.packetize_train(frames, now)
+            self.frames_sent += len(frames)
+            size_total = 0
+            for packet in train:
+                size_total += packet.size_bytes
+            self.bytes_sent += size_total
+            self.host.send_batch(train)
+        self._schedule_next_media()
+
+    def _audio_event(self) -> None:
+        self._audio_event_seq = None
+        if not self._running:
+            return
+        packet = make_audio_packet(
+            self.flow_id, self.host.name, self.dst, next(self._audio_seq), self.sim.now
+        )
+        self.bytes_sent += packet.size_bytes
+        # A one-packet train: keeps audio on the same batched fan-out path
+        # (cached dispatch plans) as video at the media server.
+        self.host.send_batch([packet])
+        self._audio_count = count = self._audio_count + 1
+        self._audio_next_time = when = (
+            self._audio_anchor + count * self.config.audio_packet_interval_s
+        )
+        self._audio_event_seq = self.sim.call_at(when, self._audio_event)
+
+    # ----------------------------------------------------- polled data path
     def _media_tick(self) -> None:
         if not self._running:
             return

@@ -28,7 +28,7 @@ from repro.media.source import TalkingHeadSource
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketKind
 from repro.net.simulator import PeriodicTask, Simulator
-from repro.rtp.jitter import ReceiverConfig, StreamReceiver
+from repro.rtp.jitter import LegacyStreamReceiver, ReceiverConfig, StreamReceiver
 from repro.rtp.rtcp import make_fir_packet, make_report_packet
 from repro.rtp.session import MediaEncoder, RtpStreamSender, SenderConfig
 from repro.rtp.sip import SignalingMessage, SignalKind, send_signal
@@ -119,6 +119,7 @@ class VCAClient:
         codec: Optional[CodecModel] = None,
         seed: int = 0,
         collect_stats: bool = True,
+        polled: bool = False,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -128,9 +129,17 @@ class VCAClient:
         self.name = host.name
         self.rng = np.random.default_rng(seed)
         self.codec = codec or CodecModel()
+        self.polled = polled
 
         source = TalkingHeadSource(seed=seed)
         self.encoder = profile.encoder_factory(self.codec, source)
+        # Rebase this sender's frame ids into a seed-derived disjoint range
+        # so the SFU's deterministic frame-hash thinning is decorrelated
+        # across participants (ids stay unique within the flow, which is all
+        # the receivers need).
+        reseed = getattr(self.encoder, "reseed_frame_ids", None)
+        if reseed is not None:
+            reseed(1 + (seed % 4096) * 5_000_000)
         self.controller = profile.controller_factory(self.rng)
         self.sender = RtpStreamSender(
             sim=sim,
@@ -139,7 +148,7 @@ class VCAClient:
             dst=server_name,
             encoder=self.encoder,
             controller=self.controller,
-            config=SenderConfig(audio_bitrate_bps=profile.audio_bps),
+            config=SenderConfig(audio_bitrate_bps=profile.audio_bps, polled=polled),
         )
 
         #: One receiver per remote participant whose stream we are sent.
@@ -200,14 +209,15 @@ class VCAClient:
         if remote in self.receivers:
             return self.receivers[remote]
         flow = downlink_flow(remote, self.name, self.call_id)
-        receiver = StreamReceiver(
+        receiver_cls = LegacyStreamReceiver if self.polled else StreamReceiver
+        receiver = receiver_cls(
             self.sim,
             flow,
             config=ReceiverConfig(),
             on_fir=lambda _flow, r=remote: self._send_fir(r),
         )
         self.receivers[remote] = receiver
-        self.host.register_flow(flow, receiver.on_packet)
+        self.host.register_flow(flow, receiver.on_packet, batch_handler=receiver.on_packet_batch)
         task = self.sim.every(
             self.profile.feedback_interval_s,
             lambda r=remote: self._send_feedback(r),

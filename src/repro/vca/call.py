@@ -47,6 +47,9 @@ class CallConfig:
     #: Stagger participant joins by up to this many seconds (call setup takes
     #: a few seconds of GUI automation in the real testbed).
     join_jitter_s: float = 1.0
+    #: Run every client on the original 30 Hz polling media pipeline instead
+    #: of the event-driven one (equivalence tests and benchmarks only).
+    polled: bool = False
 
 
 class Call:
@@ -83,11 +86,18 @@ class Call:
                 codec=self.codec,
                 seed=self.config.seed + index,
                 collect_stats=self.config.collect_stats,
+                polled=self.config.polled,
             )
             self.clients[host.name] = client
 
         server_profile = get_profile(self.config.vca, seed=self.config.seed + 1000)
-        self.server = MediaServer(sim, server_host, server_profile, call_id=self.config.call_id)
+        self.server = MediaServer(
+            sim,
+            server_host,
+            server_profile,
+            call_id=self.config.call_id,
+            polled=self.config.polled,
+        )
 
         self._started = False
 

@@ -33,7 +33,7 @@ from repro.media.codec import Resolution
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketKind
 from repro.net.simulator import PeriodicTask, Simulator
-from repro.rtp.jitter import StreamReceiver
+from repro.rtp.jitter import LegacyStreamReceiver, StreamReceiver
 from repro.rtp.rtcp import extract_report, is_fir, make_fir_packet, make_report_packet
 from repro.rtp.sip import SignalingMessage, SignalKind, extract_signal, send_signal
 from repro.vca.base import VCAProfile, downlink_flow, uplink_flow
@@ -77,6 +77,10 @@ class ParticipantState:
     view_mode: str = "gallery"
     #: Measured per-layer uplink bitrates of this participant's stream.
     layer_meters: dict[str, _LayerMeter] = field(default_factory=dict)
+    #: Flat per-layer byte accumulator for the current metering window.  The
+    #: per-packet path does one dict add here; the bytes are rolled into
+    #: :attr:`layer_meters` (EWMA) on demand at each feedback tick.
+    layer_bytes: dict[str, int] = field(default_factory=dict)
     #: Current forwarding decision toward each receiver: receiver ->
     #: (set of layers to forward, keep-probability of the top forwarded layer).
     forwarding: dict[str, tuple[set[str], float]] = field(default_factory=dict)
@@ -97,11 +101,16 @@ class MediaServer:
         host: Host,
         profile: VCAProfile,
         call_id: str = "call",
+        polled: bool = False,
     ) -> None:
         self.sim = sim
         self.host = host
         self.profile = profile
         self.call_id = call_id
+        #: Mirror of the clients' pipeline mode: in polled (PR 1 replica)
+        #: mode the server's uplink receivers keep the original per-packet
+        #: stale-frame scan so the benchmark baseline stays faithful.
+        self.polled = polled
         self.participants: dict[str, ParticipantState] = {}
         self.bytes_forwarded = 0
         self.fec_bytes_added = 0
@@ -113,12 +122,23 @@ class MediaServer:
         #: Selective forwarding (dropping copies, layers or thinned frames)
         #: would otherwise leave gaps in the original sequence space that the
         #: receiver would misread as network loss; real SFUs rewrite the RTP
-        #: sequence numbers for exactly this reason.
-        self._forward_seq: dict[tuple[str, str], int] = {}
+        #: sequence numbers for exactly this reason.  Counters are one-element
+        #: lists so cached dispatch plans can bump them without a dict lookup
+        #: per packet (and they survive plan invalidation).
+        self._forward_seq: dict[tuple[str, str], list[int]] = {}
+        #: Cached forwarding plans keyed by ``(sender, layer)`` (``None`` for
+        #: audio): the per-receiver dispatch decision resolved once and
+        #: invalidated on layout / membership / forwarding-decision changes
+        #: instead of being recomputed for every packet.  Each video entry is
+        #: ``(receiver, keep_probability, downlink_flow_id, seq_key)``.
+        self._forward_plans: dict[tuple[str, Optional[str]], list] = {}
+        #: Uplink flow id -> participant state, so the per-train dispatch
+        #: skips the flow-id string parse (invalidated with the plans).
+        self._state_by_flow: dict[str, ParticipantState] = {}
         #: Interval between downlink bandwidth probes toward an
         #: application-limited receiver (the emulated ALR probing).
         self.probe_interval_s = 3.0
-        host.set_default_handler(self.on_packet)
+        host.set_default_handler(self.on_packet, batch_handler=self.on_packet_batch)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -137,7 +157,8 @@ class MediaServer:
         if state is not None:
             return state
         state = ParticipantState(name=name)
-        state.uplink_receiver = StreamReceiver(
+        receiver_cls = LegacyStreamReceiver if self.polled else StreamReceiver
+        state.uplink_receiver = receiver_cls(
             self.sim,
             uplink_flow(name, self.call_id),
             track_quality=False,
@@ -181,10 +202,14 @@ class MediaServer:
             )
         state.downlink_estimator = GCCController(estimator_config)
         self.participants[name] = state
+        self._forward_plans.clear()
+        self._state_by_flow.clear()
         return state
 
     def remove_participant(self, name: str) -> None:
         self.participants.pop(name, None)
+        self._forward_plans.clear()
+        self._state_by_flow.clear()
 
     # ------------------------------------------------------------ data path
     def on_packet(self, packet: Packet) -> None:
@@ -196,7 +221,14 @@ class MediaServer:
             self._on_rtcp(packet)
             return
         if packet.kind in (PacketKind.RTP_VIDEO, PacketKind.RTP_AUDIO, PacketKind.FEC):
-            self._on_media(packet)
+            # Media arriving one packet at a time (e.g. through the measured
+            # client's shaped link): the event-driven server still resolves
+            # the forwarding decision from the cached dispatch plans; the
+            # polled escape hatch keeps the original per-packet path.
+            if self.polled:
+                self._on_media(packet)
+            else:
+                self._on_media_batch((packet,))
             return
 
     # ------------------------------------------------------------ signalling
@@ -215,6 +247,7 @@ class MediaServer:
                 sender: Resolution(int(w), int(h)) for sender, (w, h) in tiles.items()
             }
             state.view_mode = message.payload.get("mode", "gallery")
+            self._forward_plans.clear()
             self._recompute_uplink_caps()
 
     def _recompute_uplink_caps(self) -> None:
@@ -321,10 +354,11 @@ class MediaServer:
             return
         if state.uplink_receiver is not None:
             state.uplink_receiver.on_packet(packet)
-        layer = packet.meta.get("layer", "main")
+        meta = packet._meta
+        layer = meta.get("layer", "main") if meta is not None else "main"
         if packet.kind is PacketKind.RTP_VIDEO:
-            meter = state.layer_meters.setdefault(layer, _LayerMeter())
-            meter.bytes_in_window += packet.size_bytes
+            layer_bytes = state.layer_bytes
+            layer_bytes[layer] = layer_bytes.get(layer, 0) + packet.size_bytes
 
         for receiver_name, receiver_state in self.participants.items():
             if receiver_name == sender_name:
@@ -335,15 +369,25 @@ class MediaServer:
                 continue
             if not self._should_forward(state, receiver_name, packet):
                 continue
-            forwarded = packet.copy_for_forwarding(
+            # PR 1 replica path: construct the copy the way the original
+            # per-packet pipeline did (constructor + per-copy metadata dict),
+            # so the polled baseline keeps its original cost profile.
+            forwarded = Packet(
+                size_bytes=packet.size_bytes,
+                flow_id=downlink_flow(sender_name, receiver_name, self.call_id),
                 src=self.host.name,
                 dst=receiver_name,
-                flow_id=downlink_flow(sender_name, receiver_name, self.call_id),
+                kind=packet.kind,
+                seq=packet.seq,
+                created_at=packet.created_at,
+                meta=dict(meta) if meta else None,
             )
             if packet.kind is PacketKind.RTP_VIDEO:
                 key = (sender_name, receiver_name)
-                seq = self._forward_seq.get(key, 0) + 1
-                self._forward_seq[key] = seq
+                cell = self._forward_seq.get(key)
+                if cell is None:
+                    cell = self._forward_seq[key] = [0]
+                cell[0] = seq = cell[0] + 1
                 forwarded.seq = seq
             self.bytes_forwarded += forwarded.size_bytes
             self.host.send(forwarded)
@@ -364,6 +408,175 @@ class MediaServer:
                 )
                 self.fec_bytes_added += repair.size_bytes
                 self.host.send(repair)
+
+    def on_packet_batch(self, packets) -> None:
+        """Dispatch a packet train arriving at the server host in one call.
+
+        Trains produced by the media pipeline contain only media/FEC packets
+        of a single uplink flow; anything else falls back to per-packet
+        dispatch.
+        """
+        kind = packets[0].kind
+        if kind in (PacketKind.RTP_VIDEO, PacketKind.RTP_AUDIO, PacketKind.FEC):
+            self._on_media_batch(packets)
+            return
+        for packet in packets:
+            self.on_packet(packet)
+
+    def _on_media_batch(self, packets) -> None:
+        """Forward a whole uplink packet train using the cached dispatch plans.
+
+        Per-packet semantics (metering, sequence rewrite, thinning, server
+        FEC draws in arrival x receiver order) are identical to calling
+        :meth:`_on_media` per packet; the difference is that the forwarding
+        decision comes from :meth:`_video_plan` / :meth:`_audio_plan` and the
+        per-receiver copies leave the host as one train each.
+        """
+        flow = packets[0].flow_id
+        state = self._state_by_flow.get(flow)
+        if state is None:
+            sender_name = flow.split(":up:", 1)[-1]
+            state = self.participants.get(sender_name)
+            if state is None:
+                return
+            self._state_by_flow[flow] = state
+        if state.uplink_receiver is not None:
+            state.uplink_receiver.on_packet_batch(packets)
+        host_name = self.host.name
+        layer_bytes = state.layer_bytes
+        server_fec = self.profile.server_fec_ratio
+        fec_rng = self.sim.rng if server_fec > 0 else None
+        rtp_video = PacketKind.RTP_VIDEO
+        rtp_audio = PacketKind.RTP_AUDIO
+        now = self.sim._now
+        bytes_forwarded = 0
+        fec_bytes = 0
+        outbound: dict[str, list] = {}
+        plan_layer: Optional[str] = None
+        plan: list = []
+        for packet in packets:
+            kind = packet.kind
+            if kind is rtp_audio:
+                size = packet.size_bytes
+                for receiver, flow_id in self._audio_plan(state):
+                    forwarded = packet.copy_for_forwarding(
+                        src=host_name, dst=receiver, flow_id=flow_id
+                    )
+                    bytes_forwarded += size
+                    out = outbound.get(receiver)
+                    if out is None:
+                        out = outbound[receiver] = [0, []]
+                    out[0] += size
+                    out[1].append(forwarded)
+                continue
+            meta = packet._meta
+            layer = meta.get("layer", "main") if meta is not None else "main"
+            is_video = kind is rtp_video
+            if is_video:
+                layer_bytes[layer] = layer_bytes.get(layer, 0) + packet.size_bytes
+            if layer != plan_layer:
+                plan_layer = layer
+                plan = self._video_plan(state, layer)
+            for receiver, keep, flow_id, seq_cell in plan:
+                if keep < 1.0:
+                    # Frame-consistent thinning: drop whole frames of the top
+                    # forwarded layer, never individual fragments.
+                    frame_id = meta.get("frame_id", packet.seq) if meta is not None else packet.seq
+                    if not (frame_id * 2654435761 % 1000) / 1000.0 < keep:
+                        continue
+                forwarded = packet.copy_for_forwarding(
+                    src=host_name, dst=receiver, flow_id=flow_id
+                )
+                if is_video:
+                    seq_cell[0] = seq = seq_cell[0] + 1
+                    forwarded.seq = seq
+                size = forwarded.size_bytes
+                bytes_forwarded += size
+                out = outbound.get(receiver)
+                if out is None:
+                    out = outbound[receiver] = [0, []]
+                out[0] += size
+                out[1].append(forwarded)
+                if (
+                    fec_rng is not None
+                    and is_video
+                    and fec_rng.random() < server_fec
+                ):
+                    repair = Packet(
+                        size_bytes=size,
+                        flow_id=forwarded.flow_id,
+                        src=host_name,
+                        dst=receiver,
+                        kind=PacketKind.FEC,
+                        seq=1_000_000 + packet.seq,
+                        created_at=now,
+                        meta={"fec_group": meta.get("frame_id", 0) if meta is not None else 0},
+                    )
+                    fec_bytes += size
+                    out[0] += size
+                    out[1].append(repair)
+        self.bytes_forwarded += bytes_forwarded
+        self.fec_bytes_added += fec_bytes
+        host = self.host
+        for out in outbound.values():
+            host.send_forwarded_batch(out[1], out[0])
+
+    def _video_plan(self, state: ParticipantState, layer: str) -> list:
+        """Cached per-receiver dispatch decision for one sender layer.
+
+        Mirrors the layout check and :meth:`_should_forward` for video/FEC
+        packets; rebuilt lazily after any layout, membership or
+        forwarding-decision change.
+        """
+        key = (state.name, layer)
+        plan = self._forward_plans.get(key)
+        if plan is None:
+            plan = []
+            sender_name = state.name
+            adapts = self.profile.server_adapts
+            for receiver, receiver_state in self.participants.items():
+                if receiver == sender_name:
+                    continue
+                if receiver_state.layout and sender_name not in receiver_state.layout:
+                    continue
+                keep = 1.0
+                if adapts:
+                    layers, keep_probability = state.forwarding.get(receiver, (None, 1.0))
+                    if layers is not None:
+                        if layer not in layers:
+                            continue
+                        if keep_probability < 1.0 and layer == self._top_of(layers):
+                            keep = keep_probability
+                seq_key = (sender_name, receiver)
+                seq_cell = self._forward_seq.get(seq_key)
+                if seq_cell is None:
+                    seq_cell = self._forward_seq[seq_key] = [0]
+                plan.append(
+                    (
+                        receiver,
+                        keep,
+                        downlink_flow(sender_name, receiver, self.call_id),
+                        seq_cell,
+                    )
+                )
+            self._forward_plans[key] = plan
+        return plan
+
+    def _audio_plan(self, state: ParticipantState) -> list:
+        """Cached per-receiver dispatch for audio (always forwarded if displayed)."""
+        key = (state.name, None)
+        plan = self._forward_plans.get(key)
+        if plan is None:
+            plan = []
+            sender_name = state.name
+            for receiver, receiver_state in self.participants.items():
+                if receiver == sender_name:
+                    continue
+                if receiver_state.layout and sender_name not in receiver_state.layout:
+                    continue
+                plan.append((receiver, downlink_flow(sender_name, receiver, self.call_id)))
+            self._forward_plans[key] = plan
+        return plan
 
     def _should_forward(self, sender_state: ParticipantState, receiver: str, packet: Packet) -> bool:
         """Apply the per-architecture forwarding policy to one packet."""
@@ -403,7 +616,16 @@ class MediaServer:
         interval = self.profile.feedback_interval_s
         now = self.sim.now
         for name, state in self.participants.items():
-            for meter in state.layer_meters.values():
+            meters = state.layer_meters
+            layer_bytes = state.layer_bytes
+            if layer_bytes:
+                for layer, window_bytes in layer_bytes.items():
+                    meter = meters.get(layer)
+                    if meter is None:
+                        meter = meters[layer] = _LayerMeter()
+                    meter.bytes_in_window = window_bytes
+                layer_bytes.clear()
+            for meter in meters.values():
                 meter.roll(interval)
             if self.profile.server_adapts and state.uplink_receiver is not None:
                 report = state.uplink_receiver.make_report(now)
@@ -426,6 +648,8 @@ class MediaServer:
                     continue
                 decision = self._decide_forwarding(sender_state, receiver_state)
                 sender_state.forwarding[receiver_name] = decision
+        # The cached dispatch plans encode the (possibly changed) decisions.
+        self._forward_plans.clear()
 
     def _maybe_probe_downlinks(self) -> None:
         """Send padding bursts toward application-limited receivers.

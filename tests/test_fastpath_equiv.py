@@ -212,6 +212,93 @@ def _campaign_metric(scale: int, seed: int = 0) -> dict[str, float]:
     }
 
 
+class TestMediaPipelineEquivalence:
+    """Event-driven vs polled media pipelines must be byte-identical.
+
+    The event-driven sender schedules frame emissions analytically on the
+    same capture grid the 30 Hz poller used, the batched packet path must be
+    indistinguishable from per-packet sends, and the SFU's cached dispatch
+    plans must reproduce the per-packet forwarding decisions exactly -- so
+    for the same seed, ``CallConfig(polled=True)`` and the event-driven
+    default must produce byte-identical :class:`LinkStats` counters and
+    per-flow capture bins at the measured client, for every flow including
+    the server-forwarded downlink.
+    """
+
+    @staticmethod
+    def _run_call(vca, n_participants, polled, seed=21, duration=30.0, shape_up=None):
+        from repro.net.shaper import BandwidthProfile
+        from repro.net.topology import build_access_topology
+        from repro.vca import Call, CallConfig
+
+        sim = Simulator(seed=seed)
+        names = tuple(f"C{i + 1}" for i in range(n_participants))
+        topo = build_access_topology(sim, client_names=names)
+        if shape_up is not None:
+            topo.shape(up_profile=BandwidthProfile.constant(shape_up))
+        capture = PacketCapture(sim)
+        capture.attach(topo.host("C1"))
+        call = Call(
+            sim,
+            [topo.host(name) for name in names],
+            topo.host("S"),
+            CallConfig(vca=vca, seed=seed, collect_stats=False, polled=polled),
+        )
+        call.start()
+        sim.run(until=duration)
+        call.stop()
+        sim.run(until=duration + 2.0)
+        bins = {key: list(series._bins) for key, series in capture._series.items()}
+        return _stats_tuple(topo.uplink), _stats_tuple(topo.downlink), bins
+
+    def test_two_party_call_byte_identical(self):
+        """Shaped two-party meet call: all LinkStats and bins identical."""
+        event = self._run_call("meet", 2, polled=False, shape_up=1_000_000.0)
+        polled = self._run_call("meet", 2, polled=True, shape_up=1_000_000.0)
+        assert event[0] == polled[0]  # uplink LinkStats
+        assert event[1] == polled[1]  # downlink LinkStats
+        assert set(event[2]) == set(polled[2])
+        for key in event[2]:
+            assert event[2][key] == polled[2][key], key
+
+    def test_five_party_sfu_call_byte_identical(self):
+        """Five-party meet gallery (SFU fan-out, cached dispatch plans)."""
+        event = self._run_call("meet", 5, polled=False)
+        polled = self._run_call("meet", 5, polled=True)
+        assert event[0] == polled[0]
+        assert event[1] == polled[1]
+        assert set(event[2]) == set(polled[2])
+        for key in event[2]:
+            assert event[2][key] == polled[2][key], key
+
+    @pytest.mark.parametrize(
+        ("vca", "shape_up"),
+        [
+            ("zoom", 1_000_000.0),
+            ("teams-chrome", 1_000_000.0),
+            # Severely constrained uplinks push the encoders below 30 fps
+            # (SVC down to its 15 fps base layer), where the event-driven
+            # sender visits far fewer grid points than the poller -- the
+            # regime where a scheduler/RNG divergence would hide.
+            ("zoom", 250_000.0),
+            ("meet", 300_000.0),
+        ],
+    )
+    def test_other_architectures_byte_identical(self, vca, shape_up):
+        """SVC relay (server FEC draws), stalls, and sub-30 fps regimes."""
+        event = self._run_call(vca, 2, polled=False, shape_up=shape_up)
+        polled = self._run_call(vca, 2, polled=True, shape_up=shape_up)
+        assert event[0] == polled[0]
+        assert event[1] == polled[1]
+        for key in event[2]:
+            assert event[2][key] == polled[2][key], key
+
+    def test_polled_flag_defaults_off(self):
+        from repro.vca import CallConfig
+
+        assert CallConfig().polled is False
+
+
 class TestCallLevelEquivalence:
     """Full-call equivalence: the topology built with fast links vs legacy.
 

@@ -40,7 +40,9 @@ class TestPacket:
         assert copy.seq == 42
         assert copy.created_at == 1.25
         assert copy.meta["frame_id"] == 7
-        assert copy.meta is not packet.meta
+        # Metadata is write-once, so forwarded clones share the dict (the
+        # per-copy dict duplication dominated SFU fan-out cost).
+        assert copy.meta is packet.meta
 
 
 class TestLink:
@@ -255,6 +257,106 @@ class TestHostAndRouter:
         router = Router(sim, "r")
         with pytest.raises(RuntimeError):
             router.receive(make_packet(dst="nowhere"))
+
+
+class TestBatchPath:
+    """The batched packet path must be indistinguishable from per-packet sends."""
+
+    def test_link_send_batch_matches_sequential_sends(self):
+        def run(batch: bool):
+            sim = Simulator(seed=3)
+            link = Link(sim, "l", rate_bps=200_000.0, delay_s=0.004, queue_bytes=6_000)
+            out: list[tuple[float, int]] = []
+            link.connect(lambda p: out.append((sim.now, p.seq)))
+            packets = [make_packet(size=900, seq=i) for i in range(12)]
+            if batch:
+                sim.schedule_at(0.01, lambda: link.send_batch(packets))
+            else:
+                def send_all():
+                    for p in packets:
+                        link.send(p)
+                sim.schedule_at(0.01, send_all)
+            sim.run(until=5.0)
+            stats = link.stats
+            return out, (stats.packets_sent, stats.packets_dropped, stats.bytes_sent, stats.bytes_dropped)
+
+        assert run(True) == run(False)
+
+    def test_host_send_batch_counts_and_taps_like_send(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        sent = []
+        host.set_egress(sent.append)
+        taps = []
+        host.taps.append(lambda d, p: taps.append((d, p.seq)))
+        host.send_batch([make_packet(seq=1), make_packet(seq=2)])
+        assert [p.seq for p in sent] == [1, 2]
+        assert host.packets_sent == 2 and host.bytes_sent == 2000
+        assert taps == [("tx", 1), ("tx", 2)]
+        assert all(p.src == "h" and p.created_at == 0.0 for p in sent)
+
+    def test_host_receive_batch_splits_mixed_flows(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        got: list[tuple[str, list[int]]] = []
+        host.register_flow("a", lambda p: got.append(("a-single", [p.seq])),
+                           batch_handler=lambda ps: got.append(("a-batch", [p.seq for p in ps])))
+        host.register_flow("b", lambda p: got.append(("b-single", [p.seq])))
+        train = [make_packet(flow="a", seq=1), make_packet(flow="a", seq=2),
+                 make_packet(flow="b", seq=3), make_packet(flow="a", seq=4)]
+        host.receive_batch(train)
+        assert got == [("a-batch", [1, 2]), ("b-single", [3]), ("a-batch", [4])]
+        assert host.packets_received == 4
+
+    def test_delay_pipe_batch_preserved_end_to_end(self):
+        from repro.net.router import DelayPipe
+
+        sim = Simulator()
+        batches = []
+        pipe = DelayPipe(sim, receiver=lambda p: batches.append([p.seq]),
+                         delay_s=0.01, receiver_batch=lambda ps: batches.append([p.seq for p in ps]))
+        pipe.send_batch([make_packet(seq=1), make_packet(seq=2)])
+        pipe.send(make_packet(seq=3))
+        sim.run(until=1.0)
+        assert batches == [[1, 2], [3]]
+
+    def test_source_routed_egress_matches_hop_by_hop_delay(self):
+        from repro.net.router import DelayPipe, SourceRoutedEgress
+
+        sim = Simulator()
+        arrivals: list[tuple[float, int, str]] = []
+        direct_dst = Host(sim, "dst")
+        direct_dst.set_default_handler(lambda p: arrivals.append((sim.now, p.seq, "routed")))
+        fallback_sink = []
+        fallback = DelayPipe(sim, fallback_sink.append, 0.005)
+        egress = SourceRoutedEgress(sim, 0.013, fallback.send, fallback_batch=fallback.send_batch)
+        egress.add_route("dst", direct_dst.receive, direct_dst.receive_batch)
+        egress.send(make_packet(dst="dst", seq=1))
+        egress.send_batch([make_packet(dst="dst", seq=2), make_packet(dst="dst", seq=3)])
+        egress.send(make_packet(dst="elsewhere", seq=9))
+        sim.run(until=1.0)
+        assert [(round(t, 6), s) for t, s, _ in arrivals] == [(0.013, 1), (0.013, 2), (0.013, 3)]
+        assert [p.seq for p in fallback_sink] == [9]
+
+    def test_fused_topology_delivery_times_match_hop_by_hop(self):
+        """Source routing must not change arrival times at the server."""
+
+        def run(fused: bool):
+            sim = Simulator(seed=5)
+            topo = build_access_topology(sim, client_names=("C1", "C2"), fused=fused)
+            arrivals = []
+            topo.host("S").set_default_handler(lambda p: arrivals.append((sim.now, p.seq)))
+            def send_all():
+                for seq in range(5):
+                    topo.host("C2").send(make_packet(src="C2", dst="S", seq=seq))
+                topo.host("C2").send_batch(
+                    [make_packet(src="C2", dst="S", seq=10 + i) for i in range(3)]
+                )
+            sim.schedule_at(0.1, send_all)
+            sim.run(until=2.0)
+            return arrivals
+
+        assert run(True) == run(False)
 
 
 class TestTopologies:

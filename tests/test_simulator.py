@@ -154,3 +154,29 @@ class TestPeriodicTask:
 
         with pytest.raises(ValueError):
             sim.every(0.0, lambda: None)
+
+    def test_no_phase_drift_over_long_campaigns(self):
+        """Firings stay anchored to ``start + n * interval``.
+
+        Rescheduling off ``now + interval`` accumulates one float rounding
+        per firing; at a 1/30 s interval that drifts the RTCP/meter cadence
+        measurably over a multi-minute campaign.  The anchored reschedule
+        keeps every firing bit-identical to the closed-form grid.
+        """
+        sim = Simulator()
+        interval = 1.0 / 30.0
+        ticks: list[float] = []
+        sim.every(interval, lambda: ticks.append(sim.now), start=interval)
+        sim.run(until=150.0)
+        assert len(ticks) == 4500
+        for n, when in enumerate(ticks):
+            assert when == interval + n * interval  # bit-exact, no tolerance
+
+    def test_anchored_reschedule_with_custom_start(self):
+        sim = Simulator()
+        ticks: list[float] = []
+        sim.every(0.1, lambda: ticks.append(sim.now), start=0.25)
+        sim.run(until=100.0)
+        assert ticks[0] == 0.25
+        assert ticks[500] == 0.25 + 500 * 0.1
+        assert ticks[-1] == 0.25 + (len(ticks) - 1) * 0.1
