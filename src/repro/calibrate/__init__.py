@@ -1,0 +1,46 @@
+"""Joint calibration of the competition model against the paper's figures.
+
+The paper's competition results (Figures 8, 10, 12, 14) are *jointly*
+constrained: the same controller constants must simultaneously make Zoom
+queue-filling-aggressive (fig8, fig14), Teams passive on the downlink
+(fig10b) and against TCP (fig12), and Meet deferential to Zoom (fig8).
+Tweaking one constant against one figure silently breaks another -- raising
+Zoom's loss threshold fixes the Teams pair but flips Zoom-vs-Netflix -- so
+this package scores every candidate constant set against *all* recorded
+figure targets at once, the way MacMillan et al. (IMC 2021) calibrate
+against externally visible behaviour.
+
+Layout
+------
+
+* :mod:`repro.calibrate.constants` -- :class:`CompetitionConstants`, the
+  sweepable constant set, and the committed (winning) values the relay
+  estimators and controllers read at construction time.
+* :mod:`repro.calibrate.targets` -- the recorded paper share targets and the
+  margin scoring used both by the sweep and by the tier-1 joint test.
+* :mod:`repro.calibrate.sweep` -- the campaign-runner-driven parameter sweep
+  that evaluates candidates over a process pool and emits
+  ``CALIBRATION.json`` (winning constants plus per-figure margins).
+
+``sweep`` is imported lazily (``import repro.calibrate.sweep``) because it
+pulls in the experiment drivers; importing it here would cycle back into
+:mod:`repro.vca.server`, which reads the active constants at import time.
+"""
+
+from repro.calibrate.constants import (
+    COMMITTED_CONSTANTS,
+    CompetitionConstants,
+    active_constants,
+    set_active_constants,
+)
+from repro.calibrate.targets import FIGURE_TARGETS, FigureTarget, score_metrics
+
+__all__ = [
+    "CompetitionConstants",
+    "COMMITTED_CONSTANTS",
+    "active_constants",
+    "set_active_constants",
+    "FigureTarget",
+    "FIGURE_TARGETS",
+    "score_metrics",
+]

@@ -18,11 +18,17 @@ controllers used by the competing applications:
   by the iPerf3 and Netflix competitor models.
 * :class:`~repro.cc.quic_cc.QuicCubicState` -- the QUIC variant used by the
   YouTube competitor model.
+
+All media controllers share :class:`~repro.cc.loss_bwe.LossBasedBwe`, the
+held/increasing/decreasing loss state machine with a bounded recovery window;
+its constants are jointly calibrated against the paper's competition figures
+by :mod:`repro.calibrate`.
 """
 
 from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
 from repro.cc.fbra import FBRAConfig, FBRAController
 from repro.cc.gcc import GCCConfig, GCCController
+from repro.cc.loss_bwe import LossBasedBwe, LossBweConfig
 from repro.cc.quic_cc import QuicCubicState
 from repro.cc.tcp_cubic import CubicConfig, CubicState
 from repro.cc.teams import TeamsCCConfig, TeamsController
@@ -31,6 +37,8 @@ __all__ = [
     "FeedbackReport",
     "RateController",
     "RateControllerConfig",
+    "LossBasedBwe",
+    "LossBweConfig",
     "GCCController",
     "GCCConfig",
     "FBRAController",

@@ -59,6 +59,20 @@ class FeedbackReport:
     packets_expected: int = 0
     packets_received: int = 0
 
+    #: Fallback observation window used when a report carries no interval
+    #: (e.g. the very first report of a stream): the nominal RTCP cadence.
+    DEFAULT_INTERVAL_S = 0.25
+
+    def effective_interval(self, default_s: float | None = None) -> float:
+        """The observation window, falling back to the nominal RTCP cadence.
+
+        Every controller needs this guard (a zero-length window would stall
+        multiplicative ramps); it lives here so the fallback is defined once.
+        """
+        if self.interval_s > 0:
+            return self.interval_s
+        return default_s if default_s is not None else self.DEFAULT_INTERVAL_S
+
 
 @dataclass
 class RateControllerConfig:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
+from repro.cc.loss_bwe import LossBasedBwe, LossBweConfig
 
 __all__ = ["FBRAConfig", "FBRAController"]
 
@@ -59,6 +60,32 @@ class FBRAConfig(RateControllerConfig):
     overshoot_hold_s: float = 90.0
     #: Decay rate (per second) applied when returning from overshoot.
     overshoot_decay_per_s: float = 0.02
+    #: Constants of the shared loss-based estimator: its decreasing state is
+    #: the controller's loss-congestion signal (the decrease threshold is
+    #: ``loss_tolerance``) and its estimate floors the backoff base so an
+    #: application-limited receive rate cannot collapse the target.
+    bwe_loss_increase_threshold: float = 0.05
+    bwe_loss_decrease_factor: float = 0.3
+    bwe_increase_factor_per_s: float = 1.08
+    bwe_receive_floor_multiplier: float = 0.9
+    bwe_held_hold_s: float = 3.0
+    bwe_held_increase_factor_per_s: float = 1.04
+    bwe_recovery_cap_multiplier: float = 2.0
+
+    def loss_bwe_config(self) -> LossBweConfig:
+        """The shared loss-based estimator parameterised by this config."""
+        return LossBweConfig(
+            increase_threshold=self.bwe_loss_increase_threshold,
+            decrease_threshold=self.loss_tolerance,
+            decrease_factor=self.bwe_loss_decrease_factor,
+            increase_factor_per_s=self.bwe_increase_factor_per_s,
+            receive_rate_floor_multiplier=self.bwe_receive_floor_multiplier,
+            held_hold_s=self.bwe_held_hold_s,
+            held_increase_factor_per_s=self.bwe_held_increase_factor_per_s,
+            recovery_cap_multiplier=self.bwe_recovery_cap_multiplier,
+            min_bitrate_bps=self.min_bitrate_bps,
+            max_bitrate_bps=self.max_bitrate_bps,
+        )
 
 
 class FBRAController(RateController):
@@ -68,6 +95,7 @@ class FBRAController(RateController):
         cfg = config or FBRAConfig()
         super().__init__(cfg)
         self.config: FBRAConfig = cfg
+        self._loss_bwe = LossBasedBwe(cfg.loss_bwe_config(), start_bitrate_bps=cfg.start_bitrate_bps)
         self._probe_active = False
         self._next_probe_at = cfg.probe_interval_s
         self._probe_ends_at = 0.0
@@ -83,15 +111,30 @@ class FBRAController(RateController):
     # ----------------------------------------------------------------- API
     def on_feedback(self, report: FeedbackReport, now: float) -> float:
         cfg = self.config
+        self._loss_bwe.set_bounds(cfg.min_bitrate_bps, self._overshoot_ceiling())
+        estimate = self._loss_bwe.on_report(report, now)
+        # Loss-congestion is the shared machine's decreasing state (FEC masks
+        # everything below ``loss_tolerance``); delay stays a separate check.
         congested = (
-            report.loss_fraction > cfg.loss_tolerance
+            self._loss_bwe.state == "decreasing"
             or report.queueing_delay_s > cfg.delay_tolerance_s
         )
 
         if congested:
             # FEC could not mask the congestion: track the delivered rate.
+            # A delivered rate is trusted -- including above the current
+            # target; re-basing on favourable windows is part of Zoom's
+            # measured aggression -- unless the window is application-
+            # limited (delivered far below both the loss estimate and the
+            # target; 0.5 is GCC's near-capacity discriminator).  Then the
+            # loss estimate stands in, capped at the current target so a
+            # stale-high estimate (delay congestion with FEC-masked loss)
+            # can never raise or pin the rate: successive congested reports
+            # compound the target down until the delivered rate is trusted.
             self._probe_clean = False
-            base = report.receive_rate_bps if report.receive_rate_bps > 0 else self._target_bps
+            delivered = report.receive_rate_bps
+            floor = min(estimate, self._target_bps)
+            base = delivered if delivered >= 0.5 * floor else floor
             self._target_bps = self._clamp(cfg.backoff_factor * base)
             self._probe_active = False
             self._next_probe_at = now + cfg.probe_interval_s
@@ -137,7 +180,7 @@ class FBRAController(RateController):
         ):
             self._target_bps = max(
                 self.config.max_bitrate_bps,
-                self._target_bps * (1.0 - cfg.overshoot_decay_per_s * report.interval_s),
+                self._target_bps * (1.0 - cfg.overshoot_decay_per_s * report.effective_interval()),
             )
             if self._target_bps <= self.config.max_bitrate_bps * 1.01:
                 # Settled back to nominal: the recovery episode is over.
@@ -164,6 +207,24 @@ class FBRAController(RateController):
         if self._target_bps > self.config.max_bitrate_bps:
             ratio += self._target_bps / self.config.max_bitrate_bps - 1.0
         return ratio
+
+    @property
+    def loss_estimate_bps(self) -> float:
+        """The loss-based bandwidth estimate anchoring the backoff base."""
+        return self._loss_bwe.estimate_bps
+
+    def reset(self, bitrate_bps: float | None = None) -> None:
+        super().reset(bitrate_bps)
+        self._loss_bwe.reset(self._target_bps)
+        # A reset ends any in-flight probe episode and recovery overshoot:
+        # the call sites (re-join, layout-derived ceiling clamps) use it to
+        # pin the rate, and a latched _recovery_mode would let the next
+        # clean probe push straight back above the new ceiling with
+        # sustained FEC padding the gap.
+        self._probe_active = False
+        self._probe_clean = True
+        self._overshoot_started_at = None
+        self._recovery_mode = False
 
     # ------------------------------------------------------------- helpers
     def _overshoot_ceiling(self) -> float:

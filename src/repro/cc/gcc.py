@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
+from repro.cc.loss_bwe import LossBasedBwe, LossBweConfig
 
 __all__ = ["GCCConfig", "GCCController"]
 
@@ -44,6 +45,23 @@ class GCCConfig(RateControllerConfig):
     loss_backoff_threshold: float = 0.10
     #: Loss fraction below which the loss-based estimator may increase.
     loss_increase_threshold: float = 0.02
+    #: Multiplicative decrease strength of the loss-based estimator.
+    loss_decrease_factor: float = 0.3
+    #: Growth per second of the loss-based estimate below the increase
+    #: threshold.
+    loss_increase_factor_per_s: float = 1.08
+    #: Floor on a loss-driven decrease as a multiple of the delivered rate.
+    loss_receive_floor_multiplier: float = 0.9
+    #: Dwell time inside the dead band (between the two loss thresholds)
+    #: before the bounded recovery of :class:`~repro.cc.loss_bwe.LossBasedBwe`
+    #: begins.
+    loss_held_hold_s: float = 3.0
+    #: Cautious growth rate during a bounded recovery window.
+    loss_held_increase_factor_per_s: float = 1.04
+    #: Bound of one recovery window relative to the post-backoff estimate.
+    loss_recovery_cap_multiplier: float = 2.0
+    #: EWMA smoothing of the loss input (0 = react to raw report windows).
+    loss_smoothing: float = 0.0
     #: Hold time after an over-use backoff before increasing again.
     hold_time_s: float = 1.0
     #: Whether the delay-based estimate is capped at a multiple of the
@@ -59,6 +77,22 @@ class GCCConfig(RateControllerConfig):
     #: is sending very little, the estimate may recover at least this far.
     receive_rate_cap_floor_bps: float | None = None
 
+    def loss_bwe_config(self) -> LossBweConfig:
+        """The shared loss-based estimator parameterised by this config."""
+        return LossBweConfig(
+            increase_threshold=self.loss_increase_threshold,
+            decrease_threshold=self.loss_backoff_threshold,
+            decrease_factor=self.loss_decrease_factor,
+            increase_factor_per_s=self.loss_increase_factor_per_s,
+            receive_rate_floor_multiplier=self.loss_receive_floor_multiplier,
+            held_hold_s=self.loss_held_hold_s,
+            held_increase_factor_per_s=self.loss_held_increase_factor_per_s,
+            recovery_cap_multiplier=self.loss_recovery_cap_multiplier,
+            loss_smoothing=self.loss_smoothing,
+            min_bitrate_bps=self.min_bitrate_bps,
+            max_bitrate_bps=self.max_bitrate_bps,
+        )
+
 
 class GCCController(RateController):
     """Delay-gradient + loss based rate controller (WebRTC's GCC)."""
@@ -67,18 +101,16 @@ class GCCController(RateController):
         cfg = config or GCCConfig()
         super().__init__(cfg)
         self.config: GCCConfig = cfg
-        self._loss_estimate_bps = float(cfg.start_bitrate_bps)
+        self._loss_bwe = LossBasedBwe(cfg.loss_bwe_config(), start_bitrate_bps=cfg.start_bitrate_bps)
         self._delay_estimate_bps = float(cfg.start_bitrate_bps)
-        self._last_update: float | None = None
         self._hold_until = 0.0
         self.state = "increase"
 
     # ----------------------------------------------------------------- API
     def on_feedback(self, report: FeedbackReport, now: float) -> float:
         cfg = self.config
-        interval = report.interval_s if report.interval_s > 0 else 0.25
-        if self._last_update is None:
-            self._last_update = now
+        interval = report.effective_interval()
+        self._loss_bwe.set_bounds(cfg.min_bitrate_bps, cfg.max_bitrate_bps)
 
         overusing = (
             report.queueing_delay_s > cfg.overuse_threshold_s
@@ -130,19 +162,30 @@ class GCCController(RateController):
         self._delay_estimate_bps = self._clamp(self._delay_estimate_bps)
 
         # ----------------------------------------------- loss-based estimate
-        loss = report.loss_fraction
-        if loss > cfg.loss_backoff_threshold:
-            self._loss_estimate_bps *= 1.0 - 0.3 * loss
-        elif loss < cfg.loss_increase_threshold:
-            self._loss_estimate_bps *= 1.08 ** interval
-        self._loss_estimate_bps = self._clamp(self._loss_estimate_bps)
+        # The shared state machine recovers (bounded) through the dead band
+        # between the two loss thresholds instead of freezing forever there.
+        self._loss_bwe.on_report(report, now)
 
         self._target_bps = self._clamp(
-            min(self._delay_estimate_bps, self._loss_estimate_bps)
+            min(self._delay_estimate_bps, self._loss_bwe.estimate_bps)
         )
-        self._last_update = now
         return self._target_bps
 
     def available_bandwidth_estimate(self) -> float:
         """The delay-based estimate (what an SFU uses to pick simulcast copies)."""
         return self._delay_estimate_bps
+
+    @property
+    def loss_estimate_bps(self) -> float:
+        """The loss-based estimate (what Zoom's relay uses to pick SVC layers)."""
+        return self._loss_bwe.estimate_bps
+
+    @property
+    def loss_state(self) -> str:
+        """State of the shared loss machine: increasing / held / decreasing."""
+        return self._loss_bwe.state
+
+    def reset(self, bitrate_bps: float | None = None) -> None:
+        super().reset(bitrate_bps)
+        self._delay_estimate_bps = self._target_bps
+        self._loss_bwe.reset(self._target_bps)

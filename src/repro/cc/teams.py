@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
+from repro.cc.loss_bwe import LossBasedBwe, LossBweConfig
 
 __all__ = ["TeamsCCConfig", "TeamsController"]
 
@@ -47,6 +48,33 @@ class TeamsCCConfig(RateControllerConfig):
     fast_increase_factor_per_s: float = 1.20
     #: Minimum spacing between consecutive backoffs.
     backoff_hold_s: float = 2.0
+    #: Constants of the shared loss-based estimator that anchors the backoff
+    #: base (see :meth:`loss_bwe_config`).  The congestion *trigger* above
+    #: stays at ``loss_backoff_threshold``; these only shape the estimate the
+    #: backoff is floored at.
+    bwe_loss_increase_threshold: float = 0.02
+    bwe_loss_decrease_threshold: float = 0.10
+    bwe_loss_decrease_factor: float = 0.3
+    bwe_increase_factor_per_s: float = 1.08
+    bwe_receive_floor_multiplier: float = 0.9
+    bwe_held_hold_s: float = 3.0
+    bwe_held_increase_factor_per_s: float = 1.04
+    bwe_recovery_cap_multiplier: float = 1.5
+
+    def loss_bwe_config(self) -> LossBweConfig:
+        """The shared loss-based estimator parameterised by this config."""
+        return LossBweConfig(
+            increase_threshold=self.bwe_loss_increase_threshold,
+            decrease_threshold=self.bwe_loss_decrease_threshold,
+            decrease_factor=self.bwe_loss_decrease_factor,
+            increase_factor_per_s=self.bwe_increase_factor_per_s,
+            receive_rate_floor_multiplier=self.bwe_receive_floor_multiplier,
+            held_hold_s=self.bwe_held_hold_s,
+            held_increase_factor_per_s=self.bwe_held_increase_factor_per_s,
+            recovery_cap_multiplier=self.bwe_recovery_cap_multiplier,
+            min_bitrate_bps=self.min_bitrate_bps,
+            max_bitrate_bps=self.max_bitrate_bps,
+        )
 
 
 class TeamsController(RateController):
@@ -56,13 +84,16 @@ class TeamsController(RateController):
         cfg = config or TeamsCCConfig()
         super().__init__(cfg)
         self.config: TeamsCCConfig = cfg
+        self._loss_bwe = LossBasedBwe(cfg.loss_bwe_config(), start_bitrate_bps=cfg.start_bitrate_bps)
         self._cautious_until = 0.0
         self._last_backoff_at = -1e9
         self.state = "steady"
 
     def on_feedback(self, report: FeedbackReport, now: float) -> float:
         cfg = self.config
-        interval = report.interval_s if report.interval_s > 0 else 0.25
+        interval = report.effective_interval()
+        self._loss_bwe.set_bounds(cfg.min_bitrate_bps, cfg.max_bitrate_bps)
+        estimate = self._loss_bwe.on_report(report, now)
         congested = (
             report.queueing_delay_s > cfg.delay_backoff_threshold_s
             or report.loss_fraction > cfg.loss_backoff_threshold
@@ -70,7 +101,14 @@ class TeamsController(RateController):
 
         if congested and now - self._last_backoff_at >= cfg.backoff_hold_s:
             self.state = "backoff"
-            base = min(self._target_bps, report.receive_rate_bps or self._target_bps)
+            # Back off from what the path can demonstrably carry, not from a
+            # starved receive rate: when this flow is application-limited (or
+            # crowded out of the queue) the instantaneous receive rate can be
+            # near zero, and multiplying *that* down collapses the target far
+            # below the real available bandwidth.  The loss-based estimate
+            # floors the base; repeated congestion still compounds the target
+            # downward because the estimate itself decreases under loss.
+            base = min(self._target_bps, max(report.receive_rate_bps, estimate))
             self._target_bps = self._clamp(cfg.backoff_factor * base)
             self._cautious_until = now + cfg.cautious_duration_s
             self._last_backoff_at = now
@@ -94,3 +132,12 @@ class TeamsController(RateController):
                 self._target_bps * (cfg.fast_increase_factor_per_s ** interval)
             )
         return self._target_bps
+
+    @property
+    def loss_estimate_bps(self) -> float:
+        """The loss-based bandwidth estimate anchoring the backoff base."""
+        return self._loss_bwe.estimate_bps
+
+    def reset(self, bitrate_bps: float | None = None) -> None:
+        super().reset(bitrate_bps)
+        self._loss_bwe.reset(self._target_bps)

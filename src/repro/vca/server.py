@@ -27,8 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.calibrate.constants import active_constants
 from repro.cc.base import FeedbackReport
-from repro.cc.gcc import GCCConfig, GCCController
+from repro.cc.gcc import GCCController
 from repro.media.codec import Resolution
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketKind
@@ -167,39 +168,17 @@ class MediaServer:
         # low floor, standing in for the probing an SFU performs to discover
         # downlink headroom while it is application-limited on a cheap copy.
         # Zoom's relay is markedly less delay-sensitive than Meet's SFU: its
-        # FEC lets it ride out queueing and loss, which is what makes Zoom
-        # aggressive against TCP and other VCAs on the downlink (Section 5).
-        delay_tolerant = self.profile.architecture == "svc_relay"
-        if delay_tolerant:
-            # Zoom's relay: FEC masks loss and the controller barely reacts to
-            # standing queueing delay, so the downstream estimate only backs
-            # off under heavy loss -- the source of Zoom's aggressiveness
-            # against TCP and other VCAs on the downlink (Section 5).
-            estimator_config = GCCConfig(
-                min_bitrate_bps=100_000.0,
-                max_bitrate_bps=6_000_000.0,
-                start_bitrate_bps=600_000.0,
-                increase_factor_per_s=1.08,
-                overuse_threshold_s=0.25,
-                gradient_threshold_s=0.10,
-                loss_backoff_threshold=0.15,
-                backoff_factor=0.85,
-                cap_to_receive_rate=True,
-                receive_rate_cap_multiplier=3.0,
-                receive_rate_cap_floor_bps=260_000.0,
-            )
+        # FEC lets it ride out queueing and loss, so its estimate follows the
+        # loss-based leg of the shared BWE -- the source of Zoom's
+        # aggressiveness against TCP and other VCAs on the downlink
+        # (Section 5).  Both estimator parameterisations come from the
+        # jointly calibrated competition constants (repro.calibrate): the
+        # same constants must satisfy Figures 8, 10, 12 and 14 at once.
+        constants = active_constants()
+        if self.profile.architecture == "svc_relay":
+            estimator_config = constants.zoom_relay_estimator_config()
         else:
-            estimator_config = GCCConfig(
-                min_bitrate_bps=100_000.0,
-                max_bitrate_bps=6_000_000.0,
-                start_bitrate_bps=600_000.0,
-                increase_factor_per_s=1.15,
-                overuse_threshold_s=0.060,
-                gradient_threshold_s=0.015,
-                cap_to_receive_rate=True,
-                receive_rate_cap_multiplier=3.0,
-                receive_rate_cap_floor_bps=260_000.0,
-            )
+            estimator_config = constants.meet_relay_estimator_config()
         state.downlink_estimator = GCCController(estimator_config)
         self.participants[name] = state
         self._forward_plans.clear()
@@ -732,9 +711,15 @@ class MediaServer:
         if estimator is None:
             estimate = 6_000_000.0
         elif self.profile.architecture == "svc_relay":
-            # Zoom's layer selection follows the loss-constrained target (its
-            # delay-based estimate is effectively disabled, see add_participant).
-            estimate = estimator.target_bitrate_bps
+            # Zoom's layer selection follows the *loss-based* estimate alone.
+            # The delay path must not participate: under competition the
+            # relay's own goodput is starved, so a delay-led estimate (capped
+            # at a multiple of that starved receive rate) ratchets into a
+            # base-layer fixed point it can never leave -- the Figure 10
+            # failure.  The loss estimate is anchored at the delivered rate
+            # and recovers through the moderate-loss band (FEC masks it),
+            # which is exactly Zoom's measured queue-filling behaviour.
+            estimate = estimator.loss_estimate_bps
         else:
             estimate = estimator.available_bandwidth_estimate()
         displayed = (

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.calibrate.constants import active_constants
 from repro.cc.teams import TeamsCCConfig, TeamsController
 from repro.media.codec import CodecModel
 from repro.media.encoder import AdaptiveEncoder, TeamsNativeEncoderPolicy
@@ -76,10 +77,13 @@ def teams_profile(seed: int = 0, params: TeamsParameters | None = None) -> VCAPr
         return AdaptiveEncoder(codec, TeamsNativeEncoderPolicy(nominal_bitrate_bps=nominal), source=source)
 
     def controller_factory(rng: np.random.Generator) -> TeamsController:
+        # The loss-BWE that anchors the backoff base carries the jointly
+        # calibrated competition constants (repro.calibrate).
         config = TeamsCCConfig(
             min_bitrate_bps=p.min_bitrate_bps,
             max_bitrate_bps=nominal,
             start_bitrate_bps=p.start_bitrate_bps,
+            **active_constants().teams_bwe_overrides(),
         )
         return TeamsController(config)
 

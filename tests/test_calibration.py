@@ -1,0 +1,123 @@
+"""Tier-1 joint calibration tests (repro.calibrate).
+
+The headline guarantee of the calibration subsystem: the *committed*
+competition constants satisfy every recorded figure target at once.  A
+change that fixes one figure and silently breaks another fails here, in
+tier-1, not two benchmarks later.
+
+The joint scenario evaluation runs eight reduced competition experiments
+(~13 s of wall clock); ``REPRO_CALIBRATION_DURATION`` scales the competitor
+window if a longer check is wanted locally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.calibrate import (
+    COMMITTED_CONSTANTS,
+    FIGURE_TARGETS,
+    CompetitionConstants,
+    active_constants,
+    score_metrics,
+    set_active_constants,
+)
+from repro.calibrate.sweep import verify_committed, write_calibration_report
+
+#: Competitor window of the tier-1 joint check (seconds).  30 s is the
+#: shortest window at which the competition equilibria are established
+#: (Zoom needs ~20 s to displace an incumbent Meet call on the uplink).
+CALIBRATION_DURATION_S = float(os.environ.get("REPRO_CALIBRATION_DURATION", "30"))
+
+
+class TestConstants:
+    def test_committed_is_active_by_default(self):
+        assert active_constants() is COMMITTED_CONSTANTS
+
+    def test_set_active_returns_previous_and_restores(self):
+        candidate = COMMITTED_CONSTANTS.replace(zoom_relay_loss_decrease_threshold=0.2)
+        previous = set_active_constants(candidate)
+        try:
+            assert previous is COMMITTED_CONSTANTS
+            assert active_constants() is candidate
+        finally:
+            set_active_constants(previous)
+        assert active_constants() is COMMITTED_CONSTANTS
+
+    def test_replace_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            COMMITTED_CONSTANTS.replace(not_a_constant=1.0)
+
+    def test_estimator_configs_carry_constants(self):
+        constants = CompetitionConstants(
+            zoom_relay_loss_decrease_threshold=0.33,
+            zoom_relay_min_bitrate_bps=555_000.0,
+            meet_relay_held_hold_s=7.0,
+        )
+        zoom_cfg = constants.zoom_relay_estimator_config()
+        assert zoom_cfg.loss_backoff_threshold == 0.33
+        assert zoom_cfg.min_bitrate_bps == 555_000.0
+        meet_cfg = constants.meet_relay_estimator_config()
+        assert meet_cfg.loss_held_hold_s == 7.0
+        # Meet's SFU stays delay-led with ordinary loss thresholds.
+        assert meet_cfg.overuse_threshold_s < zoom_cfg.overuse_threshold_s
+
+    def test_teams_overrides_reach_controller_config(self):
+        from repro.vca.teams import teams_profile
+
+        constants = COMMITTED_CONSTANTS.replace(teams_bwe_loss_decrease_threshold=0.19)
+        previous = set_active_constants(constants)
+        try:
+            profile = teams_profile(seed=0)
+            import numpy as np
+
+            controller = profile.controller_factory(np.random.default_rng(0))
+            assert controller.config.bwe_loss_decrease_threshold == 0.19
+        finally:
+            set_active_constants(previous)
+
+
+class TestTargets:
+    def test_margin_signs(self):
+        metrics = {t.metric: (t.threshold - 0.1 if t.op == "lt" else t.threshold + 0.1) for t in FIGURE_TARGETS}
+        margins = score_metrics(metrics)
+        assert all(m == pytest.approx(0.1) for m in margins.values())
+
+    def test_every_target_names_a_distinct_metric(self):
+        metrics = [t.metric for t in FIGURE_TARGETS]
+        assert len(metrics) == len(set(metrics))
+        figures = {t.figure for t in FIGURE_TARGETS}
+        assert figures == {"fig8", "fig10", "fig12", "fig14"}
+
+
+class TestJointCalibration:
+    def test_committed_constants_satisfy_all_figure_targets(self, tmp_path):
+        """The headline acceptance check: every figure target holds at once.
+
+        This covers the fig10 fix (Teams-vs-Zoom downlink share < 0.6) *and*
+        the constraints that kept previous one-knob fixes from landing
+        (fig8 pair ordering, fig12 TCP passivity, fig14 Zoom-vs-Netflix).
+        """
+        report = verify_committed(
+            competitor_duration_s=CALIBRATION_DURATION_S,
+            seed=0,
+            output_path=tmp_path / "CALIBRATION.json",
+        )
+        margins = report["margins"]
+        failing = {metric: margin for metric, margin in margins.items() if margin <= 0.0}
+        assert not failing, (
+            "committed competition constants violate figure targets "
+            f"(margins: {margins})"
+        )
+        assert report["satisfied"] is True
+        # The report round-trips as JSON with the full constant set recorded.
+        written = json.loads((tmp_path / "CALIBRATION.json").read_text())
+        assert written["constants"] == COMMITTED_CONSTANTS.as_dict()
+        assert written["mode"] == "verify"
+
+    def test_report_writer_round_trips(self, tmp_path):
+        path = write_calibration_report({"mode": "test", "x": 1.5}, tmp_path / "r.json")
+        assert json.loads(path.read_text()) == {"mode": "test", "x": 1.5}

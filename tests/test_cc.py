@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from repro.cc.base import FeedbackReport
 from repro.cc.fbra import FBRAConfig, FBRAController
 from repro.cc.gcc import GCCConfig, GCCController
+from repro.cc.loss_bwe import LossBasedBwe, LossBweConfig
 from repro.cc.quic_cc import QuicCubicState
 from repro.cc.tcp_cubic import CubicConfig, CubicState
 from repro.cc.teams import TeamsCCConfig, TeamsController
@@ -34,6 +35,116 @@ def drive(controller, reports):
     for now, rep in reports:
         target = controller.on_feedback(rep, now)
     return target
+
+
+class TestFeedbackReport:
+    def test_effective_interval_uses_report_window(self):
+        assert report(1.0, interval=0.5).effective_interval() == 0.5
+
+    def test_effective_interval_falls_back_when_empty(self):
+        empty = report(1.0, interval=0.0)
+        assert empty.effective_interval() == FeedbackReport.DEFAULT_INTERVAL_S
+        assert empty.effective_interval(default_s=1.5) == 1.5
+
+
+class TestLossBasedBwe:
+    def config(self, **overrides):
+        defaults = dict(
+            increase_threshold=0.02,
+            decrease_threshold=0.10,
+            held_hold_s=2.0,
+            held_increase_factor_per_s=1.05,
+            recovery_cap_multiplier=2.0,
+            min_bitrate_bps=100_000.0,
+            max_bitrate_bps=4_000_000.0,
+        )
+        defaults.update(overrides)
+        return LossBweConfig(**defaults)
+
+    def test_states_follow_thresholds(self):
+        bwe = LossBasedBwe(self.config(), start_bitrate_bps=1e6)
+        bwe.update(loss_fraction=0.01, receive_rate_bps=1e6, interval_s=0.25, now=0.25)
+        assert bwe.state == "increasing"
+        bwe.update(loss_fraction=0.05, receive_rate_bps=1e6, interval_s=0.25, now=0.5)
+        assert bwe.state == "held"
+        bwe.update(loss_fraction=0.3, receive_rate_bps=1e6, interval_s=0.25, now=0.75)
+        assert bwe.state == "decreasing"
+
+    def test_dead_zone_recovers_after_hold(self):
+        """The 2-10 % band must not freeze the estimate forever (the fig10 bug)."""
+        bwe = LossBasedBwe(self.config(), start_bitrate_bps=1e6)
+        # A heavy-loss episode ratchets the estimate down.
+        t = 0.0
+        for _ in range(20):
+            t += 0.25
+            bwe.update(loss_fraction=0.4, receive_rate_bps=150_000, interval_s=0.25, now=t)
+        collapsed = bwe.estimate_bps
+        assert collapsed < 0.3 * 1e6
+        # Loss settles into the dead band: after the hold the estimate must
+        # creep back up instead of staying frozen at the collapsed value.
+        for _ in range(80):
+            t += 0.25
+            bwe.update(loss_fraction=0.05, receive_rate_bps=150_000, interval_s=0.25, now=t)
+        assert bwe.state == "held"
+        assert bwe.estimate_bps > collapsed * 1.2
+
+    def test_dead_zone_recovery_is_bounded(self):
+        cfg = self.config(recovery_cap_multiplier=2.0)
+        bwe = LossBasedBwe(cfg, start_bitrate_bps=1e6)
+        t = 0.25
+        bwe.update(loss_fraction=0.5, receive_rate_bps=200_000, interval_s=0.25, now=t)
+        anchor = bwe.estimate_bps
+        # However long the dead band lasts, growth stays under the window cap.
+        for _ in range(400):
+            t += 0.25
+            bwe.update(loss_fraction=0.05, receive_rate_bps=200_000, interval_s=0.25, now=t)
+        assert bwe.estimate_bps <= anchor * cfg.recovery_cap_multiplier + 1
+        # Clean loss clears the cap and growth resumes at full speed.
+        for _ in range(200):
+            t += 0.25
+            bwe.update(loss_fraction=0.0, receive_rate_bps=2e6, interval_s=0.25, now=t)
+        assert bwe.estimate_bps > anchor * cfg.recovery_cap_multiplier
+
+    def test_hold_time_gates_dead_zone_recovery(self):
+        cfg = self.config(held_hold_s=10.0)
+        bwe = LossBasedBwe(cfg, start_bitrate_bps=1e6)
+        bwe.update(loss_fraction=0.5, receive_rate_bps=200_000, interval_s=0.25, now=0.25)
+        collapsed = bwe.estimate_bps
+        # Inside the dwell the estimate holds flat.
+        t = 0.25
+        for _ in range(20):  # 5 s < held_hold_s
+            t += 0.25
+            bwe.update(loss_fraction=0.05, receive_rate_bps=200_000, interval_s=0.25, now=t)
+        assert bwe.estimate_bps == pytest.approx(collapsed)
+
+    def test_decrease_floored_at_delivered_rate(self):
+        cfg = self.config(receive_rate_floor_multiplier=0.9)
+        bwe = LossBasedBwe(cfg, start_bitrate_bps=2e6)
+        t = 0.0
+        for _ in range(100):
+            t += 0.25
+            bwe.update(loss_fraction=0.6, receive_rate_bps=500_000, interval_s=0.25, now=t)
+        # The estimate never drops below 90 % of what is being delivered.
+        assert bwe.estimate_bps == pytest.approx(450_000)
+
+    def test_smoothing_rides_out_loss_spikes(self):
+        raw = LossBasedBwe(self.config(), start_bitrate_bps=1e6)
+        smoothed = LossBasedBwe(self.config(loss_smoothing=0.2), start_bitrate_bps=1e6)
+        for bwe in (raw, smoothed):
+            bwe.update(loss_fraction=0.0, receive_rate_bps=1e6, interval_s=0.25, now=0.25)
+        # One bursty window (45 % loss) in an otherwise clean stream: the raw
+        # machine chops the estimate, the smoothed one reads 0.2 * 0.45 = 9 %
+        # and merely holds.
+        raw.update(loss_fraction=0.45, receive_rate_bps=1e6, interval_s=0.25, now=0.5)
+        smoothed.update(loss_fraction=0.45, receive_rate_bps=1e6, interval_s=0.25, now=0.5)
+        assert raw.state == "decreasing"
+        assert smoothed.state == "held"
+        assert smoothed.estimate_bps > raw.estimate_bps
+
+    def test_bounds_track_owner_config(self):
+        bwe = LossBasedBwe(self.config(max_bitrate_bps=1e6), start_bitrate_bps=1e6)
+        bwe.set_bounds(100_000.0, 500_000.0)
+        assert bwe.estimate_bps <= 500_000.0
 
 
 class TestGCC:
@@ -97,6 +208,22 @@ class TestGCC:
             t += 0.25
             gcc.on_feedback(report(t, rate=300_000), t)
         assert gcc.available_bandwidth_estimate() <= 1.5 * 300_000 + 1
+
+    def test_loss_dead_zone_recovers(self):
+        """Loss between the thresholds must not freeze the estimate forever."""
+        cfg = GCCConfig(start_bitrate_bps=1e6, max_bitrate_bps=3e6, loss_held_hold_s=2.0)
+        gcc = GCCController(cfg)
+        t = 0.0
+        for _ in range(20):
+            t += 0.25
+            gcc.on_feedback(report(t, rate=200_000, loss=0.5), t)
+        collapsed = gcc.loss_estimate_bps
+        # Dead band (2-10 %): previously frozen forever, now bounded recovery.
+        for _ in range(120):
+            t += 0.25
+            gcc.on_feedback(report(t, rate=200_000, loss=0.05), t)
+        assert gcc.loss_state == "held"
+        assert gcc.loss_estimate_bps > collapsed * 1.2
 
     def test_cap_can_be_disabled(self):
         cfg = GCCConfig(start_bitrate_bps=400_000, max_bitrate_bps=5e6, cap_to_receive_rate=False)
@@ -191,6 +318,61 @@ class TestFBRA:
         target = fbra.on_feedback(report(0.25, rate=700_000, loss=0.08), 0.25)
         assert target >= 700_000 * 0.95
 
+    def test_estimate_fallback_never_raises_target(self):
+        """An app-limited window backs off from min(estimate, target).
+
+        The loss estimate may sit far above the target (clean loss ramps it
+        to the ceiling); a congested, application-limited report must not
+        use it to *raise* the rate.
+        """
+        fbra = FBRAController(FBRAConfig(start_bitrate_bps=400_000, max_bitrate_bps=800_000))
+        before = fbra.target_bitrate_bps
+        after = fbra.on_feedback(report(0.25, rate=5_000, loss=0.0, queueing=0.3), 0.25)
+        assert after <= before
+        # ... while still not collapsing to the starved delivered rate.
+        assert after >= 0.8 * before
+
+    def test_delay_congestion_tracks_delivered_rate_despite_masked_loss(self):
+        """Bufferbloat with FEC-masked loss must still converge downward.
+
+        The loss-based estimate stays high (loss below the FEC tolerance),
+        but successive delay-congested reports compound the target toward
+        the delivered rate instead of re-basing at the high estimate.
+        """
+        cfg = FBRAConfig(min_bitrate_bps=100_000, start_bitrate_bps=2_000_000, max_bitrate_bps=2_000_000)
+        fbra = FBRAController(cfg)
+        t = 0.0
+        for _ in range(60):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=300_000, loss=0.10, queueing=0.4), t)
+        assert fbra.target_bitrate_bps <= 300_000 * 1.1
+
+    def test_reset_clears_recovery_overshoot(self):
+        """A reset (re-join / layout ceiling clamp) pins the rate for real.
+
+        Without clearing the latched recovery mode, the next clean probe
+        would push the target straight back above the new ceiling with
+        sustained FEC padding the gap (defeating the Fig 15b uplink clamp).
+        """
+        cfg = FBRAConfig(start_bitrate_bps=600_000, max_bitrate_bps=800_000)
+        fbra = FBRAController(cfg)
+        t = 0.0
+        for _ in range(100):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t)
+        for _ in range(40):  # severe episode latches recovery mode
+            t += 0.25
+            fbra.on_feedback(report(t, rate=200_000, loss=0.3, queueing=0.3), t)
+        assert fbra._recovery_mode
+        cfg.max_bitrate_bps = 350_000.0
+        fbra.reset(350_000.0)
+        assert not fbra._recovery_mode
+        for _ in range(400):
+            t += 0.25
+            fbra.on_feedback(report(t, rate=fbra.target_bitrate_bps), t)
+            assert fbra.target_bitrate_bps <= 350_000.0 + 1
+            assert fbra.fec_overhead_ratio(t) <= cfg.probe_fec_ratio + 1e-9
+
     def test_probing_can_be_disabled(self):
         fbra = FBRAController(FBRAConfig(start_bitrate_bps=300_000, max_bitrate_bps=800_000))
         fbra.probing_enabled = False
@@ -246,6 +428,34 @@ class TestTeamsController:
             t += 2.5
             teams.on_feedback(report(t, rate=100_000, loss=0.3, queueing=0.5), t)
         assert teams.target_bitrate_bps >= 400_000
+
+    def test_backoff_floored_at_loss_estimate_when_app_limited(self):
+        """A near-zero receive rate must not collapse the target (fig10 trap).
+
+        Delay congestion with an application-limited (tiny) receive rate:
+        the old anchoring multiplied down from the starved rate; the fix
+        floors the backoff base at the loss-based estimate, which stays high
+        because the loss fraction itself is clean.
+        """
+        cfg = TeamsCCConfig(min_bitrate_bps=50_000, start_bitrate_bps=1_200_000)
+        teams = TeamsController(cfg)
+        teams.on_feedback(report(0.25, rate=5_000, loss=0.0, queueing=0.1), 0.25)
+        assert teams.state == "backoff"
+        # Old behaviour: 0.7 * 5 kbps = 3.5 kbps (clamped to min).  Fixed:
+        # 0.7 * max(5 kbps, loss estimate ~ start bitrate).
+        assert teams.target_bitrate_bps >= 0.7 * 1_200_000 * 0.99
+
+    def test_backoff_still_compounds_under_sustained_loss(self):
+        """The loss-estimate floor must not break loss-driven passivity."""
+        cfg = TeamsCCConfig(min_bitrate_bps=50_000, start_bitrate_bps=1_200_000)
+        teams = TeamsController(cfg)
+        t = 0.0
+        for _ in range(40):
+            t += 2.5
+            teams.on_feedback(report(t, rate=300_000, loss=0.4, queueing=0.2), t)
+        # Sustained heavy loss decays the estimate toward the delivered rate,
+        # so repeated backoffs still drive the target well below start.
+        assert teams.target_bitrate_bps <= 0.75 * 300_000 * 1.3
 
 
 class TestCubic:

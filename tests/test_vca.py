@@ -238,3 +238,148 @@ class TestServerBehaviour:
     def test_meet_server_adds_no_fec(self):
         _, _, _, call = run_call("meet", duration=30)
         assert call.server.fec_bytes_added == 0
+
+
+def make_report(now, rate=500_000.0, loss=0.0, queueing=0.0, expected=100, received=None):
+    from repro.cc.base import FeedbackReport
+
+    if received is None:
+        received = round(expected * (1.0 - loss))
+    return FeedbackReport(
+        timestamp=now,
+        interval_s=0.25,
+        receive_rate_bps=rate,
+        loss_fraction=loss,
+        queueing_delay_s=queueing,
+        packets_expected=expected,
+        packets_received=received,
+    )
+
+
+class TestServerDownlinkEstimator:
+    """Unit coverage of the per-receiver estimator and its feed-in paths."""
+
+    def make_server(self, vca="meet"):
+        from repro.net.node import Host
+        from repro.vca.server import MediaServer
+
+        sim = Simulator(seed=7)
+        host = Host(sim, "S")
+        host.set_egress(lambda packet: None)
+        server = MediaServer(sim, host, get_profile(vca))
+        return sim, server
+
+    def test_aggregate_reports_mixed_loss_across_receivers(self):
+        from repro.vca.server import MediaServer
+
+        _, server = self.make_server()
+        state = server.add_participant("C1")
+        # C1 receives two forwarded streams with very different conditions:
+        # the aggregate must reflect the total delivered rate but the *worst*
+        # loss and delay (one congested tile is enough to require backoff).
+        state.last_reports["C2"] = make_report(10.0, rate=400_000, loss=0.08, queueing=0.02)
+        state.last_reports["C3"] = make_report(10.2, rate=150_000, loss=0.0, queueing=0.11)
+        aggregate = MediaServer._aggregate_reports(state)
+        assert aggregate is not None
+        assert aggregate.receive_rate_bps == pytest.approx(550_000)
+        assert aggregate.loss_fraction == pytest.approx(0.08)
+        assert aggregate.queueing_delay_s == pytest.approx(0.11)
+        assert aggregate.timestamp == pytest.approx(10.2)
+        assert aggregate.packets_expected == 200
+        assert aggregate.packets_received == 92 + 100
+
+    def test_aggregate_reports_empty_returns_none(self):
+        from repro.vca.server import MediaServer
+
+        _, server = self.make_server()
+        state = server.add_participant("C1")
+        assert MediaServer._aggregate_reports(state) is None
+
+    def test_estimator_recovers_out_of_dead_zone(self):
+        """The 2-10 % loss band must not pin the downlink estimate forever.
+
+        This is the relay-side half of the fig10 bug: the estimate ratcheted
+        down during a transient and loss between the thresholds then froze
+        it, so the server never tried anything above the base layer again.
+        """
+        _, server = self.make_server("meet")
+        state = server.add_participant("C1")
+        estimator = state.downlink_estimator
+        t = 0.0
+        for _ in range(30):
+            t += 0.25
+            estimator.on_feedback(make_report(t, rate=150_000, loss=0.5, queueing=0.0), t)
+        collapsed = estimator.loss_estimate_bps
+        for _ in range(240):
+            t += 0.25
+            estimator.on_feedback(make_report(t, rate=150_000, loss=0.05, queueing=0.0), t)
+        assert estimator.loss_estimate_bps > collapsed * 1.2
+
+    def test_zoom_relay_estimate_floored_for_competition(self):
+        """Loss alone never thins a two-party Zoom downlink below base+mid."""
+        from repro.calibrate.constants import active_constants
+
+        _, server = self.make_server("zoom")
+        state = server.add_participant("F1")
+        estimator = state.downlink_estimator
+        t = 0.0
+        for _ in range(200):
+            t += 0.25
+            estimator.on_feedback(make_report(t, rate=120_000, loss=0.6, queueing=0.4), t)
+        assert estimator.loss_estimate_bps >= active_constants().zoom_relay_min_bitrate_bps
+
+    def test_probe_escapes_low_rate_fixed_point(self):
+        """A server stuck on a low copy probes for downlink headroom.
+
+        The probing is what lets the estimator discover recovered capacity
+        while the forwarded rate (and therefore the receive rate feeding the
+        estimate) is application-limited by the cheap copy.
+        """
+        from repro.vca.server import _LayerMeter
+
+        sim, server = self.make_server("meet")
+        sender = server.add_participant("C1")
+        receiver = server.add_participant("C2")
+        # C1 uplinks both simulcast copies; C2 is stuck on the low one.
+        sender.layer_meters["low"] = _LayerMeter(rate_bps=130_000.0)
+        sender.layer_meters["high"] = _LayerMeter(rate_bps=800_000.0)
+        sender.forwarding["C2"] = ({"low"}, 1.0)
+        sim.run(until=0.1)
+        server._maybe_probe_downlinks()
+        assert server.probe_bytes_sent > 0
+
+    def test_no_probes_when_top_copy_already_forwarded(self):
+        from repro.vca.server import _LayerMeter
+
+        sim, server = self.make_server("meet")
+        sender = server.add_participant("C1")
+        server.add_participant("C2")
+        sender.layer_meters["low"] = _LayerMeter(rate_bps=130_000.0)
+        sender.layer_meters["high"] = _LayerMeter(rate_bps=800_000.0)
+        sender.forwarding["C2"] = ({"high"}, 0.8)
+        sim.run(until=0.1)
+        server._maybe_probe_downlinks()
+        assert server.probe_bytes_sent == 0
+
+    def test_probe_feedback_raises_estimate_from_fixed_point(self):
+        """Probe-driven receive-rate headroom lets the estimate climb again.
+
+        End of the loop the probing closes: the receiver reports the extra
+        delivered rate, the receive-rate cap stops binding at the starved
+        level, and the delay estimate grows past the low copy's rate.
+        """
+        _, server = self.make_server("meet")
+        state = server.add_participant("C2")
+        estimator = state.downlink_estimator
+        t = 0.0
+        # Application-limited on a 130 kbps copy: the estimate cannot climb
+        # past the receive-rate cap floor.
+        for _ in range(40):
+            t += 0.25
+            estimator.on_feedback(make_report(t, rate=130_000, loss=0.0), t)
+        stuck = estimator.available_bandwidth_estimate()
+        # Probes double the delivered rate for a few windows.
+        for _ in range(40):
+            t += 0.25
+            estimator.on_feedback(make_report(t, rate=300_000, loss=0.0), t)
+        assert estimator.available_bandwidth_estimate() > stuck * 1.5
