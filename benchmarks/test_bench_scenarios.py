@@ -1,0 +1,147 @@
+"""Directional-sanity benchmarks for the netem scenario library.
+
+Unlike the figure benchmarks (which pin the paper's numbers), these pin the
+*physics* the new subsystem is supposed to add:
+
+* burst loss at equal mean loss breaks video continuity where i.i.d. loss
+  is absorbed by FEC/recovery,
+* a trace-driven LTE uplink forces the rate controller to keep re-deciding
+  where static shaping at the same mean capacity does not,
+* CoDel holds the standing queue near its target where drop-tail
+  bufferbloats, at comparable throughput.
+
+Every comparison aggregates over three seeds so the assertions hold at both
+``REPRO_BENCH_DURATION=10`` (the CI scenario-smoke job) and the default 45.
+Results are emitted to ``BENCH_scenarios.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+from bench_io import record_bench_result
+from conftest import BENCH_DURATION_S, run_once
+
+from repro.experiments.scenario import run_scenario_sweep
+from repro.netem.scenarios import ScenarioSpec, get_scenario, run_scenario
+
+#: Seeds aggregated by every A-vs-B comparison.
+SEEDS = (0, 1, 2)
+
+
+def _metric_sum(name: str, metric: str, duration_s: float) -> float:
+    return sum(
+        run_scenario(get_scenario(name), seed=seed, duration_s=duration_s).metrics()[metric]
+        for seed in SEEDS
+    )
+
+
+def test_bench_scenario_pack_smoke(benchmark):
+    """The paper-baseline pack runs end to end and produces sane metrics."""
+    table = run_once(
+        benchmark,
+        run_scenario_sweep,
+        tag="paper-baseline",
+        duration_s=BENCH_DURATION_S,
+        repetitions=1,
+    )
+    print("\n" + table.to_text())
+    assert len(table.rows) >= 4
+    by_name = {row[0]: dict(zip(table.columns[1:], row[1:])) for row in table.rows}
+    for name, metrics in by_name.items():
+        assert metrics["median_up_mbps"] > 0.0, name
+        assert metrics["median_down_mbps"] > 0.0, name
+    # The shaped uplink scenario is actually capacity-limited.
+    assert by_name["paper/static-0.5up-zoom"]["median_up_mbps"] < 0.55
+    record_bench_result(
+        "scenarios",
+        "paper_baseline_pack",
+        duration_s=BENCH_DURATION_S,
+        rows={name: metrics for name, metrics in by_name.items()},
+    )
+
+
+def test_bench_bursty_loss_beats_iid_at_equal_mean(benchmark):
+    """Gilbert-Elliott bursts freeze the video; i.i.d. at the same mean does not."""
+    def compare():
+        bursty = _metric_sum("bursty-downlink-zoom", "freeze_ratio", BENCH_DURATION_S)
+        iid = _metric_sum("iid-downlink-zoom", "freeze_ratio", BENCH_DURATION_S)
+        return bursty, iid
+
+    bursty_freeze, iid_freeze = run_once(benchmark, compare)
+    print(f"\nfreeze ratio over {len(SEEDS)} seeds: bursty={bursty_freeze:.4f} iid={iid_freeze:.4f}")
+    # FEC/recovery absorbs isolated losses but not ~24-packet bursts; the
+    # 8% mean is identical on both sides.
+    assert bursty_freeze > iid_freeze
+    assert bursty_freeze > 0.0
+    record_bench_result(
+        "scenarios",
+        "bursty_vs_iid_loss",
+        duration_s=BENCH_DURATION_S,
+        bursty_freeze_sum=bursty_freeze,
+        iid_freeze_sum=iid_freeze,
+    )
+
+
+def test_bench_lte_trace_forces_more_rate_switches(benchmark):
+    """A trace-driven LTE uplink keeps the controller re-deciding; static shaping does not."""
+    static_control = ScenarioSpec(
+        name="bench/static-2.5up-zoom",
+        description="Static 2.5 Mbps uplink (control matching the LTE trace mean)",
+        vca="zoom",
+        direction="up",
+        profile=("constant", {"mbps": 2.5}),
+    )
+
+    def compare():
+        lte = _metric_sum("lte-uplink-zoom", "rate_switches", BENCH_DURATION_S)
+        static = sum(
+            run_scenario(static_control, seed=seed, duration_s=BENCH_DURATION_S)
+            .metrics()["rate_switches"]
+            for seed in SEEDS
+        )
+        return lte, static
+
+    lte_switches, static_switches = run_once(benchmark, compare)
+    print(f"\nrate switches over {len(SEEDS)} seeds: lte={lte_switches:.0f} static={static_switches:.0f}")
+    assert lte_switches > static_switches
+    record_bench_result(
+        "scenarios",
+        "lte_vs_static_switches",
+        duration_s=BENCH_DURATION_S,
+        lte_switch_sum=lte_switches,
+        static_switch_sum=static_switches,
+    )
+
+
+def test_bench_codel_tames_the_standing_queue(benchmark):
+    """CoDel cuts the shaped link's queueing delay without starving throughput."""
+    def compare():
+        results = {}
+        for name in ("codel-downlink-zoom", "droptail-downlink-zoom"):
+            delay = throughput = 0.0
+            for seed in SEEDS:
+                metrics = run_scenario(
+                    get_scenario(name), seed=seed, duration_s=BENCH_DURATION_S
+                ).metrics()
+                delay += metrics["mean_queue_delay_s"]
+                throughput += metrics["median_down_mbps"]
+            results[name] = (delay, throughput)
+        return results
+
+    results = run_once(benchmark, compare)
+    codel_delay, codel_tput = results["codel-downlink-zoom"]
+    droptail_delay, droptail_tput = results["droptail-downlink-zoom"]
+    print(
+        f"\nover {len(SEEDS)} seeds: codel delay={codel_delay:.3f}s tput={codel_tput:.2f} | "
+        f"droptail delay={droptail_delay:.3f}s tput={droptail_tput:.2f}"
+    )
+    assert codel_delay < droptail_delay
+    assert codel_tput > 0.8 * droptail_tput
+    record_bench_result(
+        "scenarios",
+        "codel_vs_droptail",
+        duration_s=BENCH_DURATION_S,
+        codel_delay_sum=codel_delay,
+        droptail_delay_sum=droptail_delay,
+        codel_throughput_sum=codel_tput,
+        droptail_throughput_sum=droptail_tput,
+    )

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Explore the netem scenario library (repro.netem.scenarios).
+
+Modes:
+
+* ``--list`` (default) prints the registry: every scenario's pack tags,
+  VCA, workload and network condition.
+* ``--run NAME [NAME ...]`` runs specific scenarios and prints their
+  metrics (one line per repetition plus the mean).
+* ``--sweep [--tag TAG]`` runs a whole pack through the campaign process
+  pool and prints the summary table (the ``scenario_sweep`` experiment).
+
+Run with:  python examples/scenario_explorer.py --list
+           python examples/scenario_explorer.py --run lte-uplink-zoom --duration 30
+           python examples/scenario_explorer.py --sweep --tag beyond-paper \\
+               --duration 30 --workers auto
+"""
+
+import argparse
+import json
+import sys
+
+
+def cmd_list(args) -> int:
+    from repro.netem.scenarios import list_scenarios
+
+    specs = list_scenarios(tag=args.tag)
+    if not specs:
+        print(f"no scenarios registered with tag {args.tag!r}")
+        return 1
+    print(f"{len(specs)} registered scenarios" + (f" (tag={args.tag})" if args.tag else "") + ":\n")
+    for spec in specs:
+        condition = spec.profile[0]
+        extras = [kind for kind, present in (
+            ("loss:" + (spec.loss[0] if spec.loss else ""), spec.loss),
+            ("jitter", spec.jitter),
+            ("aqm:" + (spec.aqm[0] if spec.aqm else ""), spec.aqm),
+        ) if present]
+        workload = f"{spec.participants}p {spec.vca}"
+        print(f"  {spec.name:28s} [{', '.join(spec.tags)}] {workload:12s} "
+              f"{condition}/{spec.direction}" + (f" + {', '.join(extras)}" if extras else ""))
+        print(f"      {spec.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.netem.scenarios import get_scenario, run_scenario
+
+    payload = {}
+    for name in args.run:
+        spec = get_scenario(name)
+        print(f"== {spec.name}: {spec.description}")
+        per_rep = []
+        for repetition in range(args.repetitions):
+            run = run_scenario(spec, seed=args.seed + repetition, duration_s=args.duration)
+            metrics = run.metrics()
+            per_rep.append(metrics)
+            line = ", ".join(f"{key}={value:.4g}" for key, value in sorted(metrics.items()))
+            print(f"   rep {repetition} (seed {args.seed + repetition}): {line}")
+        if len(per_rep) > 1:
+            means = {key: sum(rep[key] for rep in per_rep) / len(per_rep) for key in per_rep[0]}
+            line = ", ".join(f"{key}={value:.4g}" for key, value in sorted(means.items()))
+            print(f"   mean over {len(per_rep)} reps: {line}")
+        payload[name] = per_rep
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.scenario import run_scenario_sweep
+
+    workers = args.workers
+    if isinstance(workers, str) and workers != "auto":
+        workers = int(workers)
+    table = run_scenario_sweep(
+        tag=args.tag,
+        duration_s=args.duration,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=workers,
+    )
+    print(table.to_text())
+    if args.json:
+        payload = {"columns": table.columns, "rows": table.rows}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--list", action="store_true", help="list the registry (default)")
+    mode.add_argument("--run", nargs="+", metavar="NAME", help="run specific scenarios")
+    mode.add_argument("--sweep", action="store_true", help="sweep a pack via the campaign pool")
+    parser.add_argument("--tag", default=None, help="filter by pack tag (paper-baseline / beyond-paper)")
+    parser.add_argument("--duration", type=float, default=None, help="override call duration in seconds")
+    parser.add_argument("--repetitions", type=int, default=1, help="repetitions per scenario")
+    parser.add_argument("--seed", type=int, default=0, help="base seed (repetition i uses seed+i)")
+    parser.add_argument("--workers", default=None, help="pool size for --sweep: int, 'auto', or omit")
+    parser.add_argument("--json", default=None, help="also write results to this JSON file")
+    args = parser.parse_args()
+
+    if args.run:
+        return cmd_run(args)
+    if args.sweep:
+        return cmd_sweep(args)
+    return cmd_list(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,9 +33,11 @@ __all__ = ["PacketCapture", "FlowSeries"]
 class FlowSeries:
     """Binned byte counts for one (flow, direction) pair.
 
-    Bytes are accumulated into ``_bins``, a plain list indexed by bin number
-    (grown on demand).  ``bins`` exposes the legacy sparse-dict view for
-    callers that want ``{bin_index: bytes}``.
+    Bytes are accumulated into ``_bins``, a flat array indexed by bin number
+    (one integer add per packet, grown on demand); the queries
+    (:meth:`timeseries`, :meth:`total_bytes`) are vectorised numpy slices
+    over it.  ``bins`` exposes the legacy sparse-dict view for callers that
+    want ``{bin_index: bytes}``.
     """
 
     __slots__ = ("flow_id", "direction", "bin_width_s", "_bins")

@@ -30,6 +30,7 @@ __all__ = [
     "time_to_recovery",
     "link_share",
     "jains_fairness",
+    "tx_loss_rate",
 ]
 
 
@@ -124,6 +125,25 @@ def link_share(
     if total <= 0:
         return 0.0
     return incumbent / total
+
+
+def tx_loss_rate(sent_bytes: float, received_bytes: float) -> float:
+    """Fraction of transmitted bytes that never reached the receiver.
+
+    The pcap-style tx-side loss measurement: capture the same flow at the
+    sender (e.g. the relay server's egress) and at the receiver and compare
+    byte totals over a window.  This is the metric the paper's rx-side
+    figures cannot see -- e.g. Zoom's SVC relay holding its competition
+    floor *through* sustained downlink loss looks healthy received-rate-wise
+    while its tx-side loss is enormous (the PR 3 modeling caveat).
+
+    Clamped to ``[0, 1]``; zero when nothing was sent.
+    """
+    sent = float(sent_bytes)
+    if sent <= 0.0:
+        return 0.0
+    lost = sent - float(received_bytes)
+    return min(max(lost / sent, 0.0), 1.0)
 
 
 def jains_fairness(rates: Sequence[float]) -> float:

@@ -19,6 +19,8 @@ __all__ = [
     "static_profile",
     "disruption_profile",
     "unconstrained_profile",
+    "trace_profile",
+    "synthetic_profile",
     "mbps",
 ]
 
@@ -64,3 +66,29 @@ def disruption_profile(
         duration_s=duration_s,
         baseline_bps=UNCONSTRAINED_BPS,
     )
+
+
+def trace_profile(path, duration_s: float, bin_s: float = 0.2) -> BandwidthProfile:
+    """A dense profile from a Mahimahi packet-delivery-opportunity trace.
+
+    The trace loops if ``duration_s`` exceeds its length (Mahimahi
+    semantics).  See :mod:`repro.netem.traces` for the format.
+    """
+    from repro.netem.traces import load_mahimahi
+
+    return load_mahimahi(path, bin_s=bin_s).to_profile(duration_s=duration_s)
+
+
+def synthetic_profile(
+    kind: str,
+    seed: int,
+    duration_s: float,
+    mean_mbps: float = 6.0,
+    bin_s: float = 0.5,
+) -> BandwidthProfile:
+    """A seeded synthetic backhaul profile (``lte`` / ``wifi`` / ``dsl`` / ``leo``)."""
+    from repro.netem.traces import synthesize
+
+    return synthesize(
+        kind, seed=seed, duration_s=duration_s, mean_mbps=mean_mbps, bin_s=bin_s
+    ).to_profile(duration_s=duration_s)

@@ -26,7 +26,7 @@ from repro.apps.netflix import NetflixPlayer
 from repro.apps.youtube import YouTubePlayer
 from repro.core.analysis import aggregate_runs, summarize_series
 from repro.core.capture import PacketCapture
-from repro.core.metrics import link_share
+from repro.core.metrics import link_share, tx_loss_rate
 from repro.core.orchestrator import CallOrchestrator
 from repro.core.profiles import static_profile
 from repro.core.results import FigureSeries, TableResult
@@ -91,6 +91,36 @@ class CompetitionRun:
         competitor = self.capture.aggregate("F1", tx_rx).mean_mbps(*window)
         return link_share(np.array([incumbent]), np.array([competitor]))
 
+    def downlink_tx_loss(self, client: str, call_id: str) -> float:
+        """Tx-side loss of the relay's forwarded media toward ``client``.
+
+        Compares the media bytes the call's server actually transmitted for
+        ``client`` against the bytes that arrived, over the competition
+        window (requires ``capture_servers=True``).  This is the metric that
+        makes the SVC relay's "flood through sustained loss" behaviour
+        visible: the rx-side share can look paper-faithful while most of
+        what the server sends dies at the bottleneck.
+        """
+        server = "S1" if call_id == "incumbent" else "S2"
+        # Same 10 s competition lead-in as share(), but capped so reduced
+        # runs (competitor window <= 10 s) keep a non-empty window.
+        duration = self.competitor_end_s - self.competitor_start_s
+        lead_in = min(10.0, duration / 3.0)
+        window = (self.competitor_start_s + lead_in, self.competitor_end_s)
+        prefix = f"{call_id}:down:"
+        suffix = f">{client}"
+        sent = sum(
+            series.total_bytes(*window)
+            for series in self.capture.flows_at(server, "tx")
+            if series.flow_id.startswith(prefix) and series.flow_id.endswith(suffix)
+        )
+        received = sum(
+            series.total_bytes(*window)
+            for series in self.capture.flows_at(client, "rx")
+            if series.flow_id.startswith(prefix) and series.flow_id.endswith(suffix)
+        )
+        return tx_loss_rate(sent, received)
+
 
 def run_competition(
     incumbent_vca: str,
@@ -98,12 +128,16 @@ def run_competition(
     capacity_mbps: float,
     competitor_duration_s: float = COMPETITOR_DURATION_S,
     seed: int = 0,
+    capture_servers: bool = False,
 ) -> CompetitionRun:
     """Run one incumbent-vs-competitor experiment on a shared bottleneck.
 
     ``competitor`` is either a VCA name (a second call is established through
     a separate media server) or one of ``iperf-up``, ``iperf-down``,
-    ``netflix``, ``youtube``.
+    ``netflix``, ``youtube``.  ``capture_servers`` additionally taps the
+    S1/S2 server hosts so tx-side metrics (what the relay *sent* vs what the
+    client received, :func:`repro.core.metrics.tx_loss_rate`) can be
+    computed; taps are passive and do not perturb the run.
     """
     sim = Simulator(seed=seed)
     topo = build_competition_topology(sim)
@@ -113,6 +147,9 @@ def run_competition(
     capture = PacketCapture(sim)
     capture.attach(topo.host("C1"))
     capture.attach(topo.host("F1"))
+    if capture_servers:
+        capture.attach(topo.host("S1"))
+        capture.attach(topo.host("S2"))
 
     orchestrator = CallOrchestrator(sim)
     incumbent = Call(

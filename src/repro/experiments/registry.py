@@ -17,7 +17,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.experiments import competition, disruption, modality, static
+from repro.experiments import competition, disruption, modality, scenario, static
 
 __all__ = [
     "ExperimentSpec",
@@ -162,6 +162,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Uplink/downlink utilization vs participant count (gallery mode)",
             "6.1",
             functools.partial(modality.run_participant_sweep, mode="gallery"),
+        ),
+        ExperimentSpec(
+            "scenario_sweep",
+            "Netem scenario library sweep (trace-driven links, bursty loss, jitter, AQM)",
+            "beyond-paper",
+            scenario.run_scenario_sweep,
         ),
         ExperimentSpec(
             "fig15c",

@@ -1,0 +1,76 @@
+"""Beyond-paper scenario sweeps over the netem scenario registry.
+
+``run_scenario_sweep`` is the campaign driver behind the ``scenario_sweep``
+experiment id: it expands a set of registered scenarios into a
+(condition x repetition) grid, fans it over the
+:func:`repro.core.campaign.run_campaign` process pool, and returns one
+:class:`~repro.core.results.TableResult` row per scenario with the
+scenario library's core metrics (bitrate, freezes, rate switches, tx-side
+loss, queueing delay).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.campaign import Condition, run_campaign
+from repro.core.results import TableResult
+from repro.netem.scenarios import get_scenario, list_scenarios, run_scenario_by_name
+
+__all__ = ["run_scenario_sweep"]
+
+#: Metrics reported per scenario (mean over repetitions).
+SWEEP_METRICS = (
+    "median_up_mbps",
+    "median_down_mbps",
+    "freeze_ratio",
+    "mean_received_fps",
+    "rate_switches",
+    "tx_loss_rate",
+    "aqm_drops",
+    "p95_queue_delay_s",
+)
+
+
+def run_scenario_sweep(
+    scenarios: Optional[Sequence[str]] = None,
+    tag: Optional[str] = None,
+    duration_s: Optional[float] = None,
+    repetitions: int = 2,
+    seed: int = 0,
+    workers: Optional[int | str] = None,
+) -> TableResult:
+    """Run every selected scenario ``repetitions`` times and tabulate.
+
+    ``scenarios`` selects by name; ``tag`` selects a whole pack
+    (``"paper-baseline"`` / ``"beyond-paper"``); with neither, the full
+    registry runs.  Repetition ``i`` of a scenario uses ``seed + i``.
+    """
+    if scenarios is not None:
+        names = [get_scenario(name).name for name in scenarios]
+    else:
+        names = [spec.name for spec in list_scenarios(tag=tag)]
+    if not names:
+        raise ValueError("no scenarios selected")
+    conditions = [
+        Condition(
+            name=name,
+            fn=run_scenario_by_name,
+            params={"name": name, "duration_s": duration_s},
+            repetitions=repetitions,
+            seed=seed,
+        )
+        for name in names
+    ]
+    results = run_campaign(conditions, workers=workers)
+    table = TableResult(
+        table_id="scenario_sweep",
+        title="Scenario library sweep (netem)",
+        columns=("scenario", *SWEEP_METRICS),
+    )
+    for result in results:
+        table.add_row(
+            result.condition.name,
+            *(result.summary(metric).mean for metric in SWEEP_METRICS),
+        )
+    return table

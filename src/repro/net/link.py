@@ -5,9 +5,17 @@ A :class:`Link` is unidirectional.  It models
 * **serialization** at the link's current rate (the rate may be changed at
   any time by a :class:`~repro.net.shaper.LinkShaper`, which is how the
   paper's static shaping levels and 30-second transient drops are applied),
-* a **drop-tail queue** bounded in bytes (the router's buffer),
-* fixed **propagation delay**, and
-* optional i.i.d. **random loss**.
+* a **drop-tail queue** bounded in bytes (the router's buffer), optionally
+  policed by a CoDel-style AQM (:mod:`repro.netem.aqm`),
+* fixed **propagation delay**, optionally perturbed by a per-packet jitter
+  policy (:mod:`repro.netem.impairments`), and
+* optional **random loss**: the original i.i.d. ``loss_rate`` float or a
+  pluggable loss policy (e.g. Gilbert-Elliott burst loss).
+
+All impairment hooks default to ``None``; a link without them is
+byte-identical to the pre-netem engine at the same seed, and an
+``IidLoss`` policy is unwrapped into the ``loss_rate`` float so the
+degenerate case shares that guarantee.
 
 Per-link counters (:class:`LinkStats`) record everything the analysis layer
 needs: delivered/dropped packets and bytes, and a time series of queue
@@ -56,7 +64,11 @@ from typing import Callable, Optional
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
 
-__all__ = ["Link", "LinkStats", "DEFAULT_QUEUE_BYTES"]
+__all__ = ["Link", "LinkStats", "DEFAULT_QUEUE_BYTES", "UNSET"]
+
+#: Sentinel for :meth:`Link.configure_impairments`: "keep the current policy"
+#: (as opposed to ``None``, which clears it).
+UNSET = object()
 
 #: Default queue size.  Roughly 64 KB, i.e. ~1 second of buffering at
 #: 0.5 Mbps and ~50 ms at 10 Mbps -- consistent with the small CPE buffers of
@@ -74,6 +86,9 @@ class LinkStats:
     packets_sent: int = 0
     packets_dropped: int = 0
     packets_lost_random: int = 0
+    #: Subset of ``packets_dropped`` decided by the AQM policy (not queue
+    #: overflow); zero on drop-tail links.
+    packets_dropped_aqm: int = 0
     bytes_sent: int = 0
     bytes_dropped: int = 0
     queue_samples: list[tuple[float, int]] = field(default_factory=list)
@@ -85,6 +100,18 @@ class LinkStats:
         if offered == 0:
             return 0.0
         return self.packets_dropped / offered
+
+    @property
+    def tx_loss_rate(self) -> float:
+        """Fraction of offered packets that never reached the sink.
+
+        Counts both queue/AQM drops and random/impairment losses -- the
+        tx-side loss a sender's traffic experienced on this link.
+        """
+        offered = self.packets_sent + self.packets_dropped
+        if offered == 0:
+            return 0.0
+        return (self.packets_dropped + self.packets_lost_random) / offered
 
 
 class Link:
@@ -128,6 +155,10 @@ class Link:
         "_pending",
         "_waiting",
         "_delivery_seq",
+        "loss_model",
+        "jitter_model",
+        "aqm",
+        "_jitter_horizon",
     )
 
     def __init__(
@@ -139,6 +170,9 @@ class Link:
         queue_bytes: int = DEFAULT_QUEUE_BYTES,
         loss_rate: float = 0.0,
         legacy: bool = False,
+        loss_model=None,
+        jitter_model=None,
+        aqm=None,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
@@ -152,6 +186,21 @@ class Link:
         self.loss_rate = float(loss_rate)
         self.stats = LinkStats()
         self.legacy = bool(legacy)
+        #: Impairment policies (see :mod:`repro.netem`); all off by default.
+        if loss_model is not None and loss_rate > 0.0:
+            # At construction the two loss configurations are ambiguous;
+            # reconfiguration later replaces whatever is installed.
+            raise ValueError("pass either loss_rate or a loss_model, not both")
+        self.loss_model = None
+        self.jitter_model = None
+        self.aqm = None
+        #: Monotonic floor on jittered delivery times (no reordering).
+        self._jitter_horizon = 0.0
+        self.configure_impairments(
+            loss_model=loss_model if loss_model is not None else UNSET,
+            jitter_model=jitter_model if jitter_model is not None else UNSET,
+            aqm=aqm if aqm is not None else UNSET,
+        )
 
         #: Legacy-mode drop-tail queue (fast mode uses ``_pending``).
         self._queue: deque[Packet] = deque()
@@ -171,6 +220,36 @@ class Link:
         self.on_drop: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------------ API
+    def configure_impairments(self, loss_model=UNSET, jitter_model=UNSET, aqm=UNSET) -> None:
+        """Install, replace, or clear the link's impairment policies.
+
+        Each argument left unset keeps the current policy; passing ``None``
+        clears it, passing a policy replaces it.  A ``loss_model`` replaces
+        the link's *whole* loss configuration (including any previously set
+        ``loss_rate``): an :class:`~repro.netem.impairments.IidLoss` unwraps
+        into the ``loss_rate`` float fast path, so the degenerate policy is
+        byte-identical to the pre-netem engine at the same seed, any other
+        model zeroes the float, and ``None`` clears both.
+        """
+        if loss_model is not UNSET:
+            if loss_model is None:
+                self.loss_model = None
+                self.loss_rate = 0.0
+            else:
+                iid_rate = getattr(loss_model, "iid_rate", None)
+                if iid_rate is not None:
+                    # Degenerate case: one rng.random() draw per delivered
+                    # packet (none at rate zero), exactly the float behaviour.
+                    self.loss_rate = float(iid_rate)
+                    self.loss_model = None
+                else:
+                    self.loss_rate = 0.0
+                    self.loss_model = loss_model
+        if jitter_model is not UNSET:
+            self.jitter_model = jitter_model
+        if aqm is not UNSET:
+            self.aqm = aqm
+
     @property
     def rate_bps(self) -> float:
         """Current capacity in bits per second."""
@@ -267,7 +346,13 @@ class Link:
         sim = self.sim
         now = sim._now
         size = packet.size_bytes
+        aqm = self.aqm
         if self.legacy:
+            if aqm is not None and aqm.should_drop(
+                now, (self._queued_bytes * 8) / self._rate_bps
+            ):
+                self._drop(packet, size, aqm=True)
+                return
             if self._queued_bytes + size > self.queue_bytes:
                 self._drop(packet, size)
                 return
@@ -281,6 +366,10 @@ class Link:
         queued = self._queued_bytes
         while waiting and waiting[0][0] <= now:
             queued -= waiting.popleft()[1]
+        if aqm is not None and aqm.should_drop(now, (queued * 8) / self._rate_bps):
+            self._queued_bytes = queued
+            self._drop(packet, size, aqm=True)
+            return
         if queued + size > self.queue_bytes:
             self._queued_bytes = queued
             self._drop(packet, size)
@@ -328,9 +417,13 @@ class Link:
         rate = self._rate_bps
         delay = self.delay_s
         queue_limit = self.queue_bytes
+        aqm = self.aqm
         first_deliver: Optional[float] = None
         for packet in packets:
             size = packet.size_bytes
+            if aqm is not None and aqm.should_drop(now, (queued * 8) / rate):
+                self._drop(packet, size, aqm=True)
+                continue
             if queued + size > queue_limit:
                 self._drop(packet, size)
                 continue
@@ -351,11 +444,31 @@ class Link:
             self._delivery_seq = seq
             heappush(sim._queue, (pending[0][_DELIVER], seq, self._deliver_due))
 
-    def _drop(self, packet: Packet, size: int) -> None:
+    def _drop(self, packet: Packet, size: int, aqm: bool = False) -> None:
         self.stats.packets_dropped += 1
         self.stats.bytes_dropped += size
+        if aqm:
+            self.stats.packets_dropped_aqm += 1
         if self.on_drop is not None:
             self.on_drop(packet)
+
+    def _deliver_jittered(self, packet: Packet, base_at: float) -> None:
+        """Deliver through the jitter policy (impairment path only).
+
+        ``base_at`` is the unjittered absolute delivery time; the extra
+        delay is clamped so deliveries stay monotonic per link -- jitter
+        widens inter-arrival gaps but never reorders packets.  Shared by
+        the fast and legacy pipelines so their clamp logic cannot diverge.
+        """
+        sim = self.sim
+        extra = self.jitter_model.sample(sim.rng)
+        deliver_at = base_at + extra
+        if deliver_at < self._jitter_horizon:
+            deliver_at = self._jitter_horizon
+        else:
+            self._jitter_horizon = deliver_at
+        sink = self._sink
+        sim.call_at(deliver_at, lambda p=packet: sink(p))
 
     def _deliver_due(self) -> None:
         sim = self.sim
@@ -364,6 +477,8 @@ class Link:
         stats = self.stats
         sink = self._sink
         loss_rate = self.loss_rate
+        loss_model = self.loss_model
+        jitter = self.jitter_model
         while pending and pending[0][_DELIVER] <= now:
             record = pending.popleft()
             packet = record[_PACKET]
@@ -372,10 +487,16 @@ class Link:
             queueing = record[_START] - record[_ARRIVAL]
             if queueing > 0.0:
                 packet.queueing_delay += queueing
-            if loss_rate > 0.0 and sim.rng.random() < loss_rate:
-                stats.packets_lost_random += 1
+            if loss_model is not None:
+                lost = loss_model.sample(sim.rng)
             else:
+                lost = loss_rate > 0.0 and sim.rng.random() < loss_rate
+            if lost:
+                stats.packets_lost_random += 1
+            elif jitter is None:
                 sink(packet)  # type: ignore[misc]
+            else:
+                self._deliver_jittered(packet, now)
         if pending:
             sim._seq = seq = sim._seq + 1
             self._delivery_seq = seq
@@ -399,12 +520,20 @@ class Link:
     def _transmit_done(self, packet: Packet) -> None:
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
-        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+        sim = self.sim
+        if self.loss_model is not None:
+            lost = self.loss_model.sample(sim.rng)
+        else:
+            lost = self.loss_rate > 0.0 and sim.rng.random() < self.loss_rate
+        if lost:
             self.stats.packets_lost_random += 1
         else:
             sink = self._sink
             assert sink is not None
-            self.sim.call_in(self.delay_s, lambda p=packet: sink(p))
+            if self.jitter_model is None:
+                sim.call_in(self.delay_s, lambda p=packet: sink(p))
+            else:
+                self._deliver_jittered(packet, sim._now + self.delay_s)
         self._serve_next()
 
     # ---------------------------------------------------------- monitoring

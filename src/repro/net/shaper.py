@@ -13,17 +13,30 @@ The paper applies three kinds of shaping:
 :class:`LinkShaper` applies a profile to a :class:`~repro.net.link.Link` by
 scheduling ``set_rate`` calls on the simulator, exactly the way the authors'
 scripts invoked ``tc`` at pre-planned times.
+
+Beyond the paper's handful of steps, profiles may be *dense*: a
+trace-driven or synthetic capacity process (:mod:`repro.netem.traces`) has
+hundreds of steps per minute.  ``rate_at`` binary-searches the schedule, and
+:class:`LinkShaper` switches to *chained* scheduling for dense profiles --
+one pending event that re-arms itself per step -- instead of pre-loading the
+whole schedule into the heap.  Sparse profiles keep the original eager
+scheduling so existing experiments stay byte-identical at seed.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Sequence
 
 from repro.net.link import Link
 from repro.net.simulator import Simulator
 
-__all__ = ["BandwidthProfile", "LinkShaper", "UNCONSTRAINED_BPS"]
+__all__ = ["BandwidthProfile", "LinkShaper", "UNCONSTRAINED_BPS", "DENSE_STEP_THRESHOLD"]
+
+#: Profiles with more steps than this are applied via chained scheduling.
+DENSE_STEP_THRESHOLD = 64
 
 #: The paper's unconstrained access link: 1 Gbps symmetric fibre.
 UNCONSTRAINED_BPS = 1_000_000_000.0
@@ -97,16 +110,39 @@ class BandwidthProfile:
             raise ValueError("the first segment must start at time 0")
         return cls(initial_bps=first_rate, steps=tuple(items[1:]))
 
+    @classmethod
+    def from_samples(
+        cls, bin_s: float, rates_bps: Sequence[float]
+    ) -> "BandwidthProfile":
+        """Build a dense profile from per-bin capacity samples.
+
+        Sample ``k`` holds from ``k * bin_s``; consecutive equal samples are
+        coalesced into one step so the schedule only carries actual changes.
+        """
+        if bin_s <= 0.0:
+            raise ValueError("sample bin width must be positive")
+        if not rates_bps:
+            raise ValueError("at least one capacity sample is required")
+        segments: list[tuple[float, float]] = []
+        previous: float | None = None
+        for index, rate in enumerate(rates_bps):
+            if rate != previous:
+                segments.append((index * bin_s, float(rate)))
+                previous = float(rate)
+        return cls.from_segments(segments)
+
     # ------------------------------------------------------------- queries
+    @cached_property
+    def _step_starts(self) -> list[float]:
+        """Step start times, cached for binary search (dense profiles)."""
+        return [start for start, _ in self.steps]
+
     def rate_at(self, time_s: float) -> float:
         """Capacity in effect at simulation time ``time_s``."""
-        rate = self.initial_bps
-        for start, step_rate in self.steps:
-            if time_s >= start:
-                rate = step_rate
-            else:
-                break
-        return rate
+        index = bisect_right(self._step_starts, time_s)
+        if index == 0:
+            return self.initial_bps
+        return self.steps[index - 1][1]
 
     def change_times(self) -> list[float]:
         """Times at which the capacity changes."""
@@ -118,14 +154,36 @@ class LinkShaper:
 
     The shaper is the emulation of the experiment scripts calling ``tc`` on
     the router at scheduled times: it sets the link's initial rate
-    immediately and schedules one rate change per profile step.
+    immediately and schedules the future rate changes.
+
+    ``mode`` selects how the steps reach the simulator heap:
+
+    * ``"eager"`` -- one pre-scheduled event per step (the original
+      behaviour; event sequence numbers are allocated at apply time, which
+      is what existing seeded experiments depend on),
+    * ``"chained"`` -- a single pending event that applies the next step and
+      re-arms itself, keeping heap occupancy O(1) for trace-driven
+      schedules with thousands of steps,
+    * ``"auto"`` (default) -- eager for sparse profiles, chained above
+      :data:`DENSE_STEP_THRESHOLD` steps.
     """
 
-    def __init__(self, sim: Simulator, link: Link, profile: BandwidthProfile) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        profile: BandwidthProfile,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in ("auto", "eager", "chained"):
+            raise ValueError(f"unknown shaper mode {mode!r}")
         self.sim = sim
         self.link = link
         self.profile = profile
+        self.mode = mode
         self._applied = False
+        self._steps: tuple[tuple[float, float], ...] = ()
+        self._index = 0
 
     def apply(self) -> None:
         """Set the initial rate and schedule all future changes."""
@@ -133,5 +191,29 @@ class LinkShaper:
             raise RuntimeError("profile already applied to this link")
         self._applied = True
         self.link.set_rate(self.profile.rate_at(self.sim.now))
-        for start, rate in self.profile.steps:
-            self.sim.schedule_at(start, lambda r=rate: self.link.set_rate(r))
+        steps = self.profile.steps
+        chained = self.mode == "chained" or (
+            self.mode == "auto" and len(steps) > DENSE_STEP_THRESHOLD
+        )
+        if not chained:
+            for start, rate in steps:
+                self.sim.schedule_at(start, lambda r=rate: self.link.set_rate(r))
+            return
+        self._steps = steps
+        # Steps at or before now are already covered by rate_at(now).
+        index = 0
+        now = self.sim.now
+        while index < len(steps) and steps[index][0] <= now:
+            index += 1
+        self._index = index
+        self._arm()
+
+    def _arm(self) -> None:
+        if self._index < len(self._steps):
+            self.sim.call_at(self._steps[self._index][0], self._apply_next)
+
+    def _apply_next(self) -> None:
+        _, rate = self._steps[self._index]
+        self._index += 1
+        self.link.set_rate(rate)
+        self._arm()

@@ -81,6 +81,19 @@ class AccessTopology:
             shaper.apply()
             self.shapers.append(shaper)
 
+    def impair(self, direction: str, loss_model=None, jitter_model=None, aqm=None) -> None:
+        """Declare the complete impairment state of one access-link direction.
+
+        Every call replaces all three policies of that direction (omitted
+        ones are cleared); for partial updates use
+        :meth:`~repro.net.link.Link.configure_impairments` directly.
+        Policies are stateful; use a fresh instance per direction.
+        """
+        if direction not in ("up", "down"):
+            raise ValueError(f"impair takes one direction ('up'/'down'), got {direction!r}")
+        link = self.uplink if direction == "up" else self.downlink
+        link.configure_impairments(loss_model=loss_model, jitter_model=jitter_model, aqm=aqm)
+
 
 @dataclass
 class CompetitionTopology:
@@ -114,6 +127,19 @@ class CompetitionTopology:
             shaper = LinkShaper(self.sim, self.bottleneck_down, down_profile)
             shaper.apply()
             self.shapers.append(shaper)
+
+    def impair(self, direction: str, loss_model=None, jitter_model=None, aqm=None) -> None:
+        """Declare the complete impairment state of one bottleneck direction.
+
+        Every call replaces all three policies of that direction (omitted
+        ones are cleared); for partial updates use
+        :meth:`~repro.net.link.Link.configure_impairments` directly.
+        Policies are stateful; use a fresh instance per direction.
+        """
+        if direction not in ("up", "down"):
+            raise ValueError(f"impair takes one direction ('up'/'down'), got {direction!r}")
+        link = self.bottleneck_up if direction == "up" else self.bottleneck_down
+        link.configure_impairments(loss_model=loss_model, jitter_model=jitter_model, aqm=aqm)
 
 
 def build_access_topology(

@@ -1,0 +1,53 @@
+"""Network-condition emulation beyond the paper's piecewise-constant ``tc``.
+
+The paper shapes a clean drop-tail link to constant levels (plus one
+30-second transient); follow-up measurement studies -- Kumar et al.
+(arXiv:2210.09651) on real backhauls and Chang et al. ("Can You See Me
+Now?", arXiv:2109.13113) -- show the conditions that actually separate VCAs
+are time-varying capacity and bursty impairments.  This package supplies
+those conditions as composable pieces that plug into the existing fast-path
+engine:
+
+* :mod:`repro.netem.traces` -- Mahimahi-style packet-delivery-opportunity
+  traces and seeded synthetic capacity processes (LTE, Wi-Fi, DSL, LEO
+  satellite) rendered as dense :class:`~repro.net.shaper.BandwidthProfile`
+  schedules,
+* :mod:`repro.netem.impairments` -- per-link stochastic loss (i.i.d. and
+  Gilbert-Elliott burst loss) and delay-jitter policies,
+* :mod:`repro.netem.aqm` -- a CoDel-style AQM queue discipline as an
+  alternative to the default drop-tail queue,
+* :mod:`repro.netem.scenarios` -- a declarative :class:`ScenarioSpec`
+  (profile x impairment x VCA x workload) plus a registry holding the
+  paper-baseline pack and the beyond-paper scenario library.
+
+All impairments default *off*: a link without policies is byte-identical to
+the pre-netem engine at the same seed.
+"""
+
+from repro.netem.aqm import CoDelQueue
+from repro.netem.impairments import DelayJitter, GilbertElliottLoss, IidLoss
+from repro.netem.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+    run_scenario_by_name,
+)
+from repro.netem.traces import RateTrace, parse_mahimahi, synthesize
+
+__all__ = [
+    "CoDelQueue",
+    "DelayJitter",
+    "GilbertElliottLoss",
+    "IidLoss",
+    "RateTrace",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "parse_mahimahi",
+    "register_scenario",
+    "run_scenario",
+    "run_scenario_by_name",
+    "synthesize",
+]

@@ -1,0 +1,241 @@
+"""Stochastic per-link impairment policies: loss processes and delay jitter.
+
+The paper's testbed used wired links, so :class:`~repro.net.link.Link` only
+ever needed a single i.i.d. ``loss_rate`` float.  Real access networks lose
+packets in *bursts* (Wi-Fi collisions, LTE handovers, DSL errored seconds)
+and add time-correlated delay variation; both are what actually stress a
+VCA's FEC and jitter-buffer design.  This module provides those processes as
+small policy objects a link consults per packet:
+
+* :class:`IidLoss` -- the degenerate case.  A link constructed with an
+  ``IidLoss`` policy collapses it to the original ``loss_rate`` float, so
+  the run is byte-identical to the pre-netem engine at the same seed.
+* :class:`GilbertElliottLoss` -- the classic two-state burst-loss model.
+* :class:`DelayJitter` -- truncated-Gaussian delay variation with optional
+  AR(1) autocorrelation (``rho > 0`` models the slowly varying queueing of
+  an unmodelled cross-traffic path rather than white noise).
+
+Seeding
+-------
+
+Every stochastic policy accepts an optional ``seed``.  With a seed the
+policy owns a private ``numpy`` generator, so its draws do not interleave
+with the simulator RNG -- this is what keeps the fast and legacy packet
+pipelines byte-identical under impairments (they consume the shared RNG in
+different orders).  Without a seed the policy draws from the RNG the link
+passes in (the simulator's), matching the old ``loss_rate`` behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["IidLoss", "GilbertElliottLoss", "DelayJitter"]
+
+
+def _check_probability(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+class IidLoss:
+    """Independent per-packet loss -- the old ``loss_rate`` float as a policy.
+
+    :class:`~repro.net.link.Link` special-cases this class: it unwraps
+    :attr:`iid_rate` into its ``loss_rate`` fast path, so the RNG draw
+    sequence (one ``rng.random()`` per delivered packet, none when the rate
+    is zero) is exactly the pre-netem behaviour.
+    """
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("i.i.d. loss rate must be in [0, 1)")
+        self.rate = float(rate)
+
+    @property
+    def iid_rate(self) -> float:
+        """The equivalent ``Link.loss_rate`` value (the unwrap hook)."""
+        return self.rate
+
+    @property
+    def expected_loss_rate(self) -> float:
+        return self.rate
+
+    def reset(self) -> None:  # pragma: no cover - stateless
+        pass
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        """True if the packet should be lost (one draw, like the float path)."""
+        return self.rate > 0.0 and rng.random() < self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IidLoss(rate={self.rate})"
+
+
+class GilbertElliottLoss:
+    """Two-state (good/bad) Markov burst-loss model.
+
+    Parameters
+    ----------
+    p_good_to_bad, p_bad_to_good:
+        Per-packet state transition probabilities.  The mean burst length is
+        ``1 / p_bad_to_good`` packets and the stationary bad-state share is
+        ``p_good_to_bad / (p_good_to_bad + p_bad_to_good)``.
+    loss_good, loss_bad:
+        Loss probability inside each state (classic Gilbert model:
+        ``loss_good=0``, ``loss_bad=1``).
+    seed:
+        Optional private-RNG seed (see module docstring).
+
+    Every packet consumes exactly two draws (loss, then transition) so the
+    draw count is independent of the outcome -- runs stay reproducible even
+    when the policy shares the simulator RNG with other consumers.
+    """
+
+    __slots__ = ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad", "_bad", "_rng", "_seed")
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.p_good_to_bad = _check_probability("p_good_to_bad", p_good_to_bad)
+        self.p_bad_to_good = _check_probability("p_bad_to_good", p_bad_to_good)
+        self.loss_good = _check_probability("loss_good", loss_good)
+        self.loss_bad = _check_probability("loss_bad", loss_bad)
+        self._bad = False
+        self._seed = seed
+        self._rng = None if seed is None else np.random.default_rng(seed)
+
+    @classmethod
+    def from_mean_loss(
+        cls,
+        mean_loss: float,
+        mean_burst_packets: float = 8.0,
+        seed: Optional[int] = None,
+    ) -> "GilbertElliottLoss":
+        """Build a Gilbert model (``loss_bad=1``) with a target mean loss rate.
+
+        ``mean_burst_packets`` sets the expected loss-burst length; the
+        good->bad probability is solved so the stationary loss rate equals
+        ``mean_loss``, which makes a bursty policy directly comparable to
+        ``IidLoss(mean_loss)`` at equal offered loss.
+        """
+        if not 0.0 <= mean_loss < 1.0:
+            raise ValueError("mean loss must be in [0, 1)")
+        if mean_burst_packets < 1.0:
+            raise ValueError("mean burst length must be >= 1 packet")
+        p_bad_to_good = 1.0 / mean_burst_packets
+        p_good_to_bad = mean_loss * p_bad_to_good / (1.0 - mean_loss)
+        if p_good_to_bad > 1.0:
+            # Silently clamping would deliver a lower stationary loss than
+            # requested and break the equal-mean comparability contract.
+            raise ValueError(
+                f"mean loss {mean_loss} is unreachable with mean burst length "
+                f"{mean_burst_packets} (requires p_good_to_bad > 1); use longer bursts"
+            )
+        return cls(
+            p_good_to_bad=p_good_to_bad,
+            p_bad_to_good=p_bad_to_good,
+            loss_good=0.0,
+            loss_bad=1.0,
+            seed=seed,
+        )
+
+    @property
+    def expected_loss_rate(self) -> float:
+        """Stationary loss rate of the chain."""
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator <= 0.0:
+            return self.loss_good
+        bad_share = self.p_good_to_bad / denominator
+        return bad_share * self.loss_bad + (1.0 - bad_share) * self.loss_good
+
+    def reset(self) -> None:
+        """Return to the good state and restart the private RNG stream."""
+        self._bad = False
+        if self._seed is not None:
+            self._rng = np.random.default_rng(self._seed)
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        r = self._rng if self._rng is not None else rng
+        loss_draw = r.random()
+        transition_draw = r.random()
+        lost = loss_draw < (self.loss_bad if self._bad else self.loss_good)
+        if self._bad:
+            if transition_draw < self.p_bad_to_good:
+                self._bad = False
+        elif transition_draw < self.p_good_to_bad:
+            self._bad = True
+        return lost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GilbertElliottLoss(p_gb={self.p_good_to_bad:.4f}, "
+            f"p_bg={self.p_bad_to_good:.4f}, mean={self.expected_loss_rate:.4f})"
+        )
+
+
+class DelayJitter:
+    """Non-negative extra propagation delay with optional autocorrelation.
+
+    Each delivered packet gets ``max(0, j_k)`` seconds of extra delay where
+    ``j_k`` follows an AR(1) process around ``mean_s``::
+
+        j_{k+1} = mean + rho * (j_k - mean) + std * sqrt(1 - rho^2) * N(0, 1)
+
+    ``rho=0`` is i.i.d. truncated-Gaussian jitter; ``rho`` close to one
+    models the slowly wandering delay of a congested unmodelled hop.  The
+    link clamps delivery times to be monotonic per link, so jitter never
+    reorders packets (matching ``netem delay ... distribution`` without
+    ``reorder``).
+    """
+
+    __slots__ = ("mean_s", "std_s", "rho", "_value", "_rng", "_seed")
+
+    def __init__(
+        self,
+        mean_s: float,
+        std_s: float,
+        rho: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if mean_s < 0.0 or std_s < 0.0:
+            raise ValueError("jitter mean and std must be non-negative")
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("jitter autocorrelation must be in [0, 1)")
+        self.mean_s = float(mean_s)
+        self.std_s = float(std_s)
+        self.rho = float(rho)
+        self._value = self.mean_s
+        self._seed = seed
+        self._rng = None if seed is None else np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._value = self.mean_s
+        if self._seed is not None:
+            self._rng = np.random.default_rng(self._seed)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        r = self._rng if self._rng is not None else rng
+        noise = r.standard_normal()
+        if self.rho > 0.0:
+            self._value = (
+                self.mean_s
+                + self.rho * (self._value - self.mean_s)
+                + self.std_s * float(np.sqrt(1.0 - self.rho**2)) * noise
+            )
+            return max(self._value, 0.0)
+        return max(self.mean_s + self.std_s * noise, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DelayJitter(mean={self.mean_s * 1e3:.1f}ms, std={self.std_s * 1e3:.1f}ms, rho={self.rho})"

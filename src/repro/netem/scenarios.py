@@ -1,0 +1,512 @@
+"""Declarative network-condition scenarios and their registry.
+
+A :class:`ScenarioSpec` names one cell of the (capacity profile x impairment
+x VCA x workload) space in plain data -- strings and numbers only -- so
+specs are picklable, diffable, and fan out over
+:func:`repro.core.campaign.run_campaign` without closures.  The registry
+ships two packs:
+
+* **paper-baseline** -- conditions the paper itself measured (unconstrained,
+  static shaping, a transient disruption, a gallery-mode multiparty call),
+  expressed as scenarios so the two harnesses stay comparable, and
+* **beyond-paper** -- the conditions follow-up measurement work showed to be
+  discriminating (trace-driven LTE/Wi-Fi/DSL/LEO capacity, bursty vs i.i.d.
+  loss at equal mean, delay jitter, CoDel vs drop-tail).
+
+``run_scenario`` realises a spec on the access topology: the measured
+client C1 sits behind the shaped + impaired link, everything else is clean.
+Stochastic impairments get private RNG seeds derived from the run seed, so
+scenario runs are reproducible and the fast/legacy pipeline equivalence is
+preserved under impairments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.core.capture import PacketCapture
+from repro.core.orchestrator import CallOrchestrator
+from repro.core.profiles import synthetic_profile
+from repro.media.layout import ViewMode
+from repro.net.shaper import BandwidthProfile
+from repro.net.simulator import Simulator
+from repro.net.topology import AccessTopology, build_access_topology
+from repro.netem.aqm import CoDelQueue
+from repro.netem.impairments import DelayJitter, GilbertElliottLoss, IidLoss
+from repro.netem.traces import load_mahimahi
+from repro.vca.call import Call, CallConfig
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioRun",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+    "run_scenario_by_name",
+    "SCENARIOS",
+]
+
+#: Call join time and post-call slack used by every scenario run.
+CALL_START_S = 2.0
+
+#: Seconds excluded from steady-state metrics (mirrors experiments.common).
+WARMUP_S = 12.0
+
+#: Seed offsets separating the stochastic roles of one run seed.
+_PROFILE_SEED = 7919
+_LOSS_SEED = 104_729
+_JITTER_SEED = 1_299_709
+
+#: Relative change of the target bitrate that counts as a switch.
+RATE_SWITCH_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative network-condition scenario.
+
+    Component specs are ``(kind, params)`` pairs of plain data:
+
+    * ``profile``: ``("constant", {"mbps": 1.0})``, ``("unconstrained", {})``,
+      ``("disruption", {"drop_to_mbps": 0.5, "drop_at_s": 60, "duration_s": 30})``,
+      ``("lte" | "wifi" | "dsl" | "leo", {"mean_mbps": ..., "bin_s": ...})``,
+      or ``("mahimahi", {"path": ..., "bin_s": ...})``.
+    * ``loss``: ``("iid", {"rate": 0.02})`` or ``("gilbert_elliott",
+      {"mean_loss": 0.02, "mean_burst_packets": 8})`` (or raw ``p_good_to_bad``
+      / ``p_bad_to_good`` / ``loss_good`` / ``loss_bad``).
+    * ``jitter``: ``("delay", {"mean_s": 0.01, "std_s": 0.005, "rho": 0.9})``.
+    * ``aqm``: ``("codel", {"target_s": 0.005, "interval_s": 0.1})``.
+    """
+
+    name: str
+    description: str
+    vca: str = "zoom"
+    #: Which side of C1's access link is shaped/impaired: "up", "down", "both".
+    direction: str = "up"
+    participants: int = 2
+    view_mode: str = "gallery"
+    profile: tuple[str, Mapping[str, Any]] = ("unconstrained", {})
+    loss: Optional[tuple[str, Mapping[str, Any]]] = None
+    jitter: Optional[tuple[str, Mapping[str, Any]]] = None
+    aqm: Optional[tuple[str, Mapping[str, Any]]] = None
+    duration_s: float = 120.0
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down", "both"):
+            raise ValueError(f"scenario direction must be up/down/both, got {self.direction!r}")
+        if self.participants < 2:
+            raise ValueError("a scenario call needs at least two participants")
+        if self.duration_s <= 0.0:
+            raise ValueError("scenario duration must be positive")
+        # Detach the param payloads from whatever dict the caller passed in,
+        # so later caller-side mutation cannot rewrite a (frozen, registered)
+        # spec.  Plain dicts keep the spec picklable for campaign workers.
+        for attr in ("profile", "loss", "jitter", "aqm"):
+            value = getattr(self, attr)
+            if value is not None:
+                kind, params = value
+                object.__setattr__(self, attr, (kind, dict(params)))
+
+    @property
+    def directions(self) -> tuple[str, ...]:
+        return ("up", "down") if self.direction == "both" else (self.direction,)
+
+
+# ------------------------------------------------------------- resolvers
+def _build_profile(
+    spec: tuple[str, Mapping[str, Any]], horizon_s: float, seed: int
+) -> BandwidthProfile:
+    kind, params = spec
+    if kind == "constant":
+        return BandwidthProfile.constant(float(params["mbps"]) * 1e6)
+    if kind == "unconstrained":
+        return BandwidthProfile.unconstrained()
+    if kind == "disruption":
+        return BandwidthProfile.disruption(
+            drop_to_bps=float(params["drop_to_mbps"]) * 1e6,
+            drop_at_s=float(params.get("drop_at_s", 60.0)),
+            duration_s=float(params.get("duration_s", 30.0)),
+        )
+    if kind == "mahimahi":
+        trace = load_mahimahi(params["path"], bin_s=float(params.get("bin_s", 0.2)))
+        if "mean_mbps" in params:
+            trace = trace.scaled_to_mean(float(params["mean_mbps"]) * 1e6)
+        return trace.to_profile(duration_s=horizon_s)
+    # Synthetic generators (lte / wifi / dsl / leo) via the shared helper.
+    return synthetic_profile(kind, seed=seed, duration_s=horizon_s, **params)
+
+
+def _build_loss(spec: tuple[str, Mapping[str, Any]], seed: int):
+    kind, params = spec
+    if kind == "iid":
+        return IidLoss(float(params["rate"]))
+    if kind == "gilbert_elliott":
+        if "mean_loss" in params:
+            return GilbertElliottLoss.from_mean_loss(
+                mean_loss=float(params["mean_loss"]),
+                mean_burst_packets=float(params.get("mean_burst_packets", 8.0)),
+                seed=seed,
+            )
+        return GilbertElliottLoss(
+            p_good_to_bad=float(params["p_good_to_bad"]),
+            p_bad_to_good=float(params["p_bad_to_good"]),
+            loss_good=float(params.get("loss_good", 0.0)),
+            loss_bad=float(params.get("loss_bad", 1.0)),
+            seed=seed,
+        )
+    raise KeyError(f"unknown loss model kind {kind!r}")
+
+
+def _build_jitter(spec: tuple[str, Mapping[str, Any]], seed: int):
+    kind, params = spec
+    if kind != "delay":
+        raise KeyError(f"unknown jitter model kind {kind!r}")
+    return DelayJitter(
+        mean_s=float(params["mean_s"]),
+        std_s=float(params["std_s"]),
+        rho=float(params.get("rho", 0.0)),
+        seed=seed,
+    )
+
+
+def _build_aqm(spec: tuple[str, Mapping[str, Any]]):
+    kind, params = spec
+    if kind != "codel":
+        raise KeyError(f"unknown AQM kind {kind!r}")
+    return CoDelQueue(
+        target_s=float(params.get("target_s", 0.005)),
+        interval_s=float(params.get("interval_s", 0.100)),
+    )
+
+
+# --------------------------------------------------------------- registry
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the registry (name must be unique)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one scenario by name."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}")
+    return SCENARIOS[name]
+
+
+def list_scenarios(tag: Optional[str] = None) -> list[ScenarioSpec]:
+    """All registered scenarios (optionally filtered by tag), name-sorted."""
+    specs = [
+        spec
+        for _, spec in sorted(SCENARIOS.items())
+        if tag is None or tag in spec.tags
+    ]
+    return specs
+
+
+# ------------------------------------------------------------------ runner
+@dataclass
+class ScenarioRun:
+    """Result handle of one realised scenario."""
+
+    sim: Simulator
+    spec: ScenarioSpec
+    call: Call
+    capture: PacketCapture
+    topology: AccessTopology
+    start_s: float
+    end_s: float
+    #: (time, queueing-delay estimate) samples of each shaped direction.
+    queue_delay_samples: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def steady_window(self) -> tuple[float, float]:
+        start = self.start_s + WARMUP_S
+        if start >= self.end_s - 1.0:
+            start = self.start_s + (self.end_s - self.start_s) / 3.0
+        return start, self.end_s
+
+    def _shaped_links(self):
+        return [
+            self.topology.uplink if direction == "up" else self.topology.downlink
+            for direction in self.spec.directions
+        ]
+
+    def rate_switches(self) -> int:
+        """Target-bitrate switches of the measured client's encoder.
+
+        Counts per-second stats samples whose target changed by more than
+        :data:`RATE_SWITCH_THRESHOLD` relative to the previous sample --
+        the "how often did the VCA have to re-decide" signal that separates
+        trace-driven capacity from static shaping.
+        """
+        stats = self.call.client("C1").stats
+        if stats is None:
+            return 0
+        start, end = self.start_s + 5.0, self.end_s
+        times, values = stats.series("target_bitrate_bps")
+        switches = 0
+        previous: Optional[float] = None
+        for when, value in zip(times, values):
+            if when < start or when > end or value <= 0.0:
+                continue
+            if previous is not None and abs(value - previous) > RATE_SWITCH_THRESHOLD * previous:
+                switches += 1
+            previous = value
+        return switches
+
+    def metrics(self) -> dict[str, float]:
+        """The flat, picklable metric payload used by campaign fan-out.
+
+        Bitrate/fps metrics cover the steady window (warmup excluded);
+        loss/drop counters and the queue-delay percentiles are whole-run
+        totals of the shaped link(s), startup transient included.
+        """
+        window = self.steady_window()
+        up = self.capture.aggregate("C1", "tx")
+        down = self.capture.aggregate("C1", "rx")
+        client = self.call.client("C1")
+        freeze_total = sum(
+            receiver.freeze_tracker.total_freeze_s
+            for receiver in client.receivers.values()
+            if receiver.freeze_tracker is not None
+        )
+        duration = self.end_s - self.start_s
+        stats = client.stats
+        mean_fps = stats.mean("received_fps", *window) if stats is not None else float("nan")
+        delays = [
+            delay
+            for samples in self.queue_delay_samples.values()
+            for _, delay in samples
+        ]
+        # Loss/drop counters aggregate over every shaped direction, so a
+        # "both"-direction scenario reports downlink impairments too; the
+        # ratio is LinkStats.tx_loss_rate generalised to summed counters.
+        link_stats = [link.stats for link in self._shaped_links()]
+        offered = sum(s.packets_sent + s.packets_dropped for s in link_stats)
+        undelivered = sum(s.packets_dropped + s.packets_lost_random for s in link_stats)
+        return {
+            "median_up_mbps": up.median_mbps(*window),
+            "median_down_mbps": down.median_mbps(*window),
+            "mean_up_mbps": up.mean_mbps(*window),
+            "mean_down_mbps": down.mean_mbps(*window),
+            "freeze_ratio": min(freeze_total / duration, 1.0) if duration > 0 else 0.0,
+            "mean_received_fps": mean_fps,
+            "rate_switches": float(self.rate_switches()),
+            "tx_loss_rate": undelivered / offered if offered else 0.0,
+            "queue_drops": float(sum(
+                s.packets_dropped - s.packets_dropped_aqm for s in link_stats
+            )),
+            "aqm_drops": float(sum(s.packets_dropped_aqm for s in link_stats)),
+            "random_losses": float(sum(s.packets_lost_random for s in link_stats)),
+            "mean_queue_delay_s": float(np.mean(delays)) if delays else 0.0,
+            "p95_queue_delay_s": float(np.percentile(delays, 95)) if delays else 0.0,
+        }
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+    collect_stats: bool = True,
+    queue_sample_interval_s: float = 0.1,
+) -> ScenarioRun:
+    """Realise one scenario: build, impair, run, and return the handle."""
+    duration = float(duration_s) if duration_s is not None else spec.duration_s
+    sim = Simulator(seed=seed)
+    names = [f"C{i}" for i in range(1, spec.participants + 1)]
+    topo = build_access_topology(sim, client_names=names)
+    horizon = CALL_START_S + duration + 5.0
+
+    profiles: dict[str, BandwidthProfile] = {}
+    for offset, direction in enumerate(spec.directions):
+        profiles[direction] = _build_profile(
+            spec.profile, horizon, seed + _PROFILE_SEED + offset
+        )
+    topo.shape(up_profile=profiles.get("up"), down_profile=profiles.get("down"))
+    for offset, direction in enumerate(spec.directions):
+        topo.impair(
+            direction,
+            loss_model=_build_loss(spec.loss, seed + _LOSS_SEED + offset) if spec.loss else None,
+            jitter_model=_build_jitter(spec.jitter, seed + _JITTER_SEED + offset)
+            if spec.jitter
+            else None,
+            aqm=_build_aqm(spec.aqm) if spec.aqm else None,
+        )
+
+    capture = PacketCapture(sim)
+    capture.attach(topo.host("C1"))
+
+    view_mode = ViewMode.SPEAKER if spec.view_mode == "speaker" else ViewMode.GALLERY
+    call = Call(
+        sim,
+        [topo.host(name) for name in names],
+        topo.host("S"),
+        CallConfig(vca=spec.vca, seed=seed, view_mode=view_mode, collect_stats=collect_stats),
+    )
+    orchestrator = CallOrchestrator(sim)
+    end_s = CALL_START_S + duration
+    orchestrator.run_call(call, start=CALL_START_S, duration=duration)
+
+    queue_samples: dict[str, list[tuple[float, float]]] = {
+        direction: [] for direction in spec.directions
+    }
+
+    def _sample_queues() -> None:
+        for direction, samples in queue_samples.items():
+            link = topo.uplink if direction == "up" else topo.downlink
+            samples.append((sim.now, link.queueing_delay_estimate()))
+
+    sim.every(queue_sample_interval_s, _sample_queues, start=CALL_START_S, end=end_s)
+    sim.run(until=end_s + 2.0)
+    return ScenarioRun(
+        sim=sim,
+        spec=spec,
+        call=call,
+        capture=capture,
+        topology=topo,
+        start_s=CALL_START_S,
+        end_s=end_s,
+        queue_delay_samples=queue_samples,
+    )
+
+
+def run_scenario_by_name(
+    name: str,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+) -> dict[str, float]:
+    """Campaign work unit: run a registered scenario, return its metrics.
+
+    Module-level and keyword-driven so :class:`repro.core.campaign.Condition`
+    can pickle it into worker processes.
+    """
+    run = run_scenario(get_scenario(name), seed=seed, duration_s=duration_s)
+    return run.metrics()
+
+
+# ------------------------------------------------------------------- packs
+def _register_builtin_packs() -> None:
+    paper = ("paper-baseline",)
+    beyond = ("beyond-paper",)
+
+    # Paper-baseline pack: the paper's own conditions as scenarios.
+    register_scenario(ScenarioSpec(
+        name="paper/unconstrained-zoom",
+        description="Two-party Zoom on the unconstrained 1 Gbps baseline (Table 2 row)",
+        vca="zoom", profile=("unconstrained", {}), tags=paper,
+    ))
+    register_scenario(ScenarioSpec(
+        name="paper/unconstrained-meet",
+        description="Two-party Meet on the unconstrained baseline (Table 2 row)",
+        vca="meet", profile=("unconstrained", {}), tags=paper,
+    ))
+    register_scenario(ScenarioSpec(
+        name="paper/static-0.5up-zoom",
+        description="Zoom with the uplink shaped to 0.5 Mbps (Figure 1a point)",
+        vca="zoom", direction="up", profile=("constant", {"mbps": 0.5}), tags=paper,
+    ))
+    register_scenario(ScenarioSpec(
+        name="paper/static-1.0down-meet",
+        description="Meet with the downlink shaped to 1 Mbps (Figure 1b point)",
+        vca="meet", direction="down", profile=("constant", {"mbps": 1.0}), tags=paper,
+    ))
+    register_scenario(ScenarioSpec(
+        name="paper/disruption-0.5up-zoom",
+        description="30 s uplink drop to 0.5 Mbps one minute in (Figure 4 condition)",
+        vca="zoom", direction="up",
+        profile=("disruption", {"drop_to_mbps": 0.5, "drop_at_s": 60.0, "duration_s": 30.0}),
+        tags=paper,
+    ))
+    register_scenario(ScenarioSpec(
+        name="paper/gallery-5p-meet",
+        description="Five-party Meet gallery call, unconstrained (Figure 15 point)",
+        vca="meet", participants=5, profile=("unconstrained", {}), tags=paper,
+    ))
+
+    # Beyond-paper pack: trace-driven backhauls and bursty impairments.
+    register_scenario(ScenarioSpec(
+        name="lte-uplink-zoom",
+        description="Zoom uplink over a synthetic LTE capacity process (mean 2.5 Mbps)",
+        vca="zoom", direction="up", profile=("lte", {"mean_mbps": 2.5}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="lte-downlink-meet",
+        description="Meet downlink over a synthetic LTE capacity process (mean 2.5 Mbps)",
+        vca="meet", direction="down", profile=("lte", {"mean_mbps": 2.5}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="wifi-contended-meet",
+        description="Meet on contended Wi-Fi: two-state capacity plus bursty loss",
+        vca="meet", direction="both", profile=("wifi", {"mean_mbps": 4.0}),
+        loss=("gilbert_elliott", {"mean_loss": 0.02, "mean_burst_packets": 8}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="dsl-resync-teams",
+        description="Teams on DSL: stable sync rate with rare resync outages",
+        vca="teams", direction="both", profile=("dsl", {"mean_mbps": 4.0}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="leo-handover-zoom",
+        description="Zoom over LEO satellite: 15 s handover dips plus wandering jitter",
+        vca="zoom", direction="both", profile=("leo", {"mean_mbps": 10.0}),
+        jitter=("delay", {"mean_s": 0.008, "std_s": 0.004, "rho": 0.9}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="bursty-loss-zoom",
+        description="Zoom at 2 Mbps with Gilbert-Elliott burst loss (3% mean, ~10-packet bursts)",
+        vca="zoom", direction="both", profile=("constant", {"mbps": 2.0}),
+        loss=("gilbert_elliott", {"mean_loss": 0.03, "mean_burst_packets": 10}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="iid-loss-zoom",
+        description="Zoom at 2 Mbps with i.i.d. 3% loss (control for bursty-loss-zoom)",
+        vca="zoom", direction="both", profile=("constant", {"mbps": 2.0}),
+        loss=("iid", {"rate": 0.03}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="bursty-downlink-zoom",
+        description="Zoom downlink at 2 Mbps with harsh burst loss (8% mean, ~24-packet bursts)",
+        vca="zoom", direction="down", profile=("constant", {"mbps": 2.0}),
+        loss=("gilbert_elliott", {"mean_loss": 0.08, "mean_burst_packets": 24}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="iid-downlink-zoom",
+        description="Zoom downlink at 2 Mbps with i.i.d. 8% loss (control for bursty-downlink-zoom)",
+        vca="zoom", direction="down", profile=("constant", {"mbps": 2.0}),
+        loss=("iid", {"rate": 0.08}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="jitter-wander-teams",
+        description="Teams at 1.5 Mbps with slowly wandering 15 ms delay jitter",
+        vca="teams", direction="both", profile=("constant", {"mbps": 1.5}),
+        jitter=("delay", {"mean_s": 0.015, "std_s": 0.010, "rho": 0.95}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="codel-downlink-zoom",
+        description="Zoom on a 0.8 Mbps downlink policed by CoDel",
+        vca="zoom", direction="down", profile=("constant", {"mbps": 0.8}),
+        aqm=("codel", {}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="droptail-downlink-zoom",
+        description="Zoom on a 0.8 Mbps drop-tail downlink (control for codel-downlink-zoom)",
+        vca="zoom", direction="down", profile=("constant", {"mbps": 0.8}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="leo-gallery-5p-meet",
+        description="Five-party Meet gallery call with a LEO-satellite downlink",
+        vca="meet", participants=5, direction="down",
+        profile=("leo", {"mean_mbps": 10.0}), tags=beyond,
+    ))
+
+
+_register_builtin_packs()

@@ -121,3 +121,35 @@ class TestJointCalibration:
     def test_report_writer_round_trips(self, tmp_path):
         path = write_calibration_report({"mode": "test", "x": 1.5}, tmp_path / "r.json")
         assert json.loads(path.read_text()) == {"mode": "test", "x": 1.5}
+
+
+class TestRelayTxSideLoss:
+    """Informational coverage of the PR 3 modeling caveat.
+
+    Under the committed competition floor, Zoom's SVC relay keeps feeding
+    the full ladder into a saturated 0.5 Mbps downlink: the *received* rate
+    matches the paper's rx-side figures while most of what the relay sends
+    dies at the bottleneck.  This test measures that tx-side loss (server
+    tx capture vs client rx capture, ``core.metrics.tx_loss_rate``) so the
+    behaviour is a recorded number instead of an invisible caveat.  No
+    figure target constrains it yet; the assertion only pins that the
+    flood is real (>= 40% loss) and the metric is sane.
+    """
+
+    def test_zoom_tx_loss_under_competition_floor_is_recorded(self):
+        from repro.experiments.competition import run_competition
+
+        run = run_competition(
+            "teams", "zoom", capacity_mbps=0.5,
+            competitor_duration_s=CALIBRATION_DURATION_S,
+            seed=0, capture_servers=True,
+        )
+        zoom_loss = run.downlink_tx_loss("F1", "competitor")
+        teams_loss = run.downlink_tx_loss("C1", "incumbent")
+        print(
+            f"\n[informational] tx-side downlink loss at 0.5 Mbps floor: "
+            f"zoom={zoom_loss:.3f} teams={teams_loss:.3f}"
+        )
+        assert 0.0 <= teams_loss <= 1.0
+        # The "floods through sustained 40%+ loss" caveat, now measured.
+        assert zoom_loss >= 0.40
