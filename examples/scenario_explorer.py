@@ -9,16 +9,34 @@ Modes:
   metrics (one line per repetition plus the mean).
 * ``--sweep [--tag TAG]`` runs a whole pack through the campaign process
   pool and prints the summary table (the ``scenario_sweep`` experiment).
+* ``--verify-targets`` scores the committed scenario targets
+  (repro.calibrate.targets.SCENARIO_TARGETS) and exits non-zero if any
+  margin is non-positive.
+* ``--manifest FILE`` writes the registry's spec-hash manifest (no
+  simulation) -- CI keys the result-store cache on this file.
+
+``--store DIR`` makes --sweep / --verify-targets incremental via the
+content-addressed result store: unchanged (scenario, seed, duration) cells
+re-score from cache.  ``--no-cache`` re-executes everything but still
+refreshes the store.
 
 Run with:  python examples/scenario_explorer.py --list
            python examples/scenario_explorer.py --run lte-uplink-zoom --duration 30
            python examples/scenario_explorer.py --sweep --tag beyond-paper \\
-               --duration 30 --workers auto
+               --duration 30 --workers auto --store .repro-results
+           python examples/scenario_explorer.py --verify-targets --duration 10 \\
+               --store .repro-results --json SCENARIO_MARGINS.json
 """
 
 import argparse
 import json
 import sys
+
+
+def _resolve_store(args):
+    from repro.results import ResultStore
+
+    return ResultStore(args.store) if args.store else None
 
 
 def cmd_list(args) -> int:
@@ -75,19 +93,72 @@ def cmd_sweep(args) -> int:
     workers = args.workers
     if isinstance(workers, str) and workers != "auto":
         workers = int(workers)
+    store = _resolve_store(args)
     table = run_scenario_sweep(
         tag=args.tag,
         duration_s=args.duration,
         repetitions=args.repetitions,
         seed=args.seed,
         workers=workers,
+        store=store,
+        use_cache=not args.no_cache,
     )
     print(table.to_text())
+    if store is not None:
+        print(f"store: {store.hits} hits, {store.misses} misses, {store.puts} writes "
+              f"({store.root})")
     if args.json:
         payload = {"columns": table.columns, "rows": table.rows}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_verify_targets(args) -> int:
+    from repro.calibrate.verify import verify_scenarios
+
+    workers = args.workers
+    if isinstance(workers, str) and workers != "auto":
+        workers = int(workers)
+    store = _resolve_store(args)
+    report = verify_scenarios(
+        duration_s=args.duration,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=workers,
+        store=store,
+        use_cache=not args.no_cache,
+        output_path=args.json,
+    )
+    print("committed scenario targets "
+          f"(duration={args.duration if args.duration is not None else 'spec default'}, "
+          f"{args.repetitions} seeds):")
+    for row in report["results"]:
+        status = "ok  " if row["satisfied"] else "FAIL"
+        print(f"  [{status}] {row['name']:34s} value={row['value']:8.4f} "
+              f"{row['op']} {row['threshold']:<8g} margin={row['margin']:+.4f}")
+    if store is not None:
+        print(f"store: {store.hits} hits, {store.misses} misses, {store.puts} writes "
+              f"({store.root})")
+    if args.json:
+        print(f"wrote {args.json}")
+    if not report["satisfied"]:
+        print("FAILED: at least one scenario target margin is non-positive")
+        return 1
+    print("all scenario targets satisfied")
+    return 0
+
+
+def cmd_manifest(args) -> int:
+    from repro.experiments.scenario import registry_manifest
+
+    manifest = registry_manifest(tag=args.tag)
+    with open(args.manifest, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.manifest}: {len(manifest['scenarios'])} scenarios, "
+          f"fingerprint {manifest['fingerprint']}")
     return 0
 
 
@@ -99,18 +170,35 @@ def main() -> int:
     mode.add_argument("--list", action="store_true", help="list the registry (default)")
     mode.add_argument("--run", nargs="+", metavar="NAME", help="run specific scenarios")
     mode.add_argument("--sweep", action="store_true", help="sweep a pack via the campaign pool")
+    mode.add_argument("--verify-targets", action="store_true",
+                      help="score the committed scenario targets (exit 1 on violation)")
+    mode.add_argument("--manifest", metavar="FILE",
+                      help="write the registry spec-hash manifest (no simulation)")
     parser.add_argument("--tag", default=None, help="filter by pack tag (paper-baseline / beyond-paper)")
     parser.add_argument("--duration", type=float, default=None, help="override call duration in seconds")
-    parser.add_argument("--repetitions", type=int, default=1, help="repetitions per scenario")
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="repetitions per scenario (default: 1; 3 for --verify-targets)")
     parser.add_argument("--seed", type=int, default=0, help="base seed (repetition i uses seed+i)")
     parser.add_argument("--workers", default=None, help="pool size for --sweep: int, 'auto', or omit")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="content-addressed result store directory (incremental re-runs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read the store (re-run everything; fresh results still stored)")
     parser.add_argument("--json", default=None, help="also write results to this JSON file")
     args = parser.parse_args()
+
+    if args.repetitions is None:
+        # --verify-targets defaults to the benchmarks' three-seed aggregation.
+        args.repetitions = 3 if args.verify_targets else 1
 
     if args.run:
         return cmd_run(args)
     if args.sweep:
         return cmd_sweep(args)
+    if args.verify_targets:
+        return cmd_verify_targets(args)
+    if args.manifest:
+        return cmd_manifest(args)
     return cmd_list(args)
 
 

@@ -12,7 +12,7 @@ player itself stays transport-agnostic.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.simulator import Simulator

@@ -18,7 +18,6 @@ reacts to loss and queueing on the shared bottleneck.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.cc.tcp_cubic import CubicState

@@ -17,14 +17,20 @@ Layout
   sweepable constant set, and the committed (winning) values the relay
   estimators and controllers read at construction time.
 * :mod:`repro.calibrate.targets` -- the recorded paper share targets and the
-  margin scoring used both by the sweep and by the tier-1 joint test.
+  margin scoring used both by the sweep and by the tier-1 joint test, plus
+  the recorded netem :class:`ScenarioTarget` set (directional scenario
+  behaviours promoted to thresholds with margins).
 * :mod:`repro.calibrate.sweep` -- the campaign-runner-driven parameter sweep
   that evaluates candidates over a process pool and emits
   ``CALIBRATION.json`` (winning constants plus per-figure margins).
+* :mod:`repro.calibrate.verify` -- ``verify_scenarios``, the entry point
+  that scores the committed scenario targets (result-store-aware, so an
+  unchanged scenario pack re-scores from cache).
 
-``sweep`` is imported lazily (``import repro.calibrate.sweep``) because it
-pulls in the experiment drivers; importing it here would cycle back into
-:mod:`repro.vca.server`, which reads the active constants at import time.
+``sweep`` and ``verify`` are imported lazily (``import
+repro.calibrate.sweep``) because they pull in the experiment drivers;
+importing them here would cycle back into :mod:`repro.vca.server`, which
+reads the active constants at import time.
 """
 
 from repro.calibrate.constants import (
@@ -33,7 +39,14 @@ from repro.calibrate.constants import (
     active_constants,
     set_active_constants,
 )
-from repro.calibrate.targets import FIGURE_TARGETS, FigureTarget, score_metrics
+from repro.calibrate.targets import (
+    FIGURE_TARGETS,
+    SCENARIO_TARGETS,
+    FigureTarget,
+    ScenarioTarget,
+    score_metrics,
+    score_scenario_metrics,
+)
 
 __all__ = [
     "CompetitionConstants",
@@ -43,4 +56,7 @@ __all__ = [
     "FigureTarget",
     "FIGURE_TARGETS",
     "score_metrics",
+    "ScenarioTarget",
+    "SCENARIO_TARGETS",
+    "score_scenario_metrics",
 ]

@@ -23,11 +23,7 @@ import time
 from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
-from repro.calibrate.constants import (
-    COMMITTED_CONSTANTS,
-    CompetitionConstants,
-    set_active_constants,
-)
+from repro.calibrate.constants import COMMITTED_CONSTANTS, set_active_constants
 from repro.calibrate.targets import FIGURE_TARGETS, score_metrics
 from repro.core.campaign import Condition, run_campaign
 

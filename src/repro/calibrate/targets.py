@@ -1,20 +1,36 @@
-"""Recorded figure targets and margin scoring.
+"""Recorded figure and scenario targets and their margin scoring.
 
-Each target mirrors one assertion of the competition benchmarks
-(``benchmarks/test_bench_fig8_10.py``, ``test_bench_fig12.py``,
+Each :class:`FigureTarget` mirrors one assertion of the competition
+benchmarks (``benchmarks/test_bench_fig8_10.py``, ``test_bench_fig12.py``,
 ``test_bench_fig14.py``), restated over the metric names produced by
 :func:`repro.calibrate.sweep.evaluate_candidate`.  A candidate constant set
 *satisfies* the targets only when every margin is positive -- the joint
 constraint that makes the fig10 fix land without silently breaking fig8 or
 fig14.
+
+:class:`ScenarioTarget` promotes the strongest *directional* assertions of
+the netem scenario benchmarks (bursty-vs-i.i.d. freeze gap, LTE-vs-static
+rate switching, CoDel-vs-drop-tail queueing delay) into the same recorded
+form: a comparison between registered scenarios with a committed threshold
+and a margin, scored by :func:`repro.calibrate.verify.verify_scenarios`, so
+a netem regression is quantified instead of merely sign-checked.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
-__all__ = ["FigureTarget", "FIGURE_TARGETS", "score_metrics", "all_satisfied"]
+__all__ = [
+    "FigureTarget",
+    "FIGURE_TARGETS",
+    "score_metrics",
+    "all_satisfied",
+    "ScenarioTarget",
+    "SCENARIO_TARGETS",
+    "score_scenario_metrics",
+    "all_scenario_targets_satisfied",
+]
 
 
 @dataclass(frozen=True)
@@ -108,3 +124,151 @@ def score_metrics(metrics: Mapping[str, float]) -> dict[str, float]:
 def all_satisfied(metrics: Mapping[str, float]) -> bool:
     """True when every figure target holds for these metrics."""
     return all(margin > 0.0 for margin in score_metrics(metrics).values())
+
+
+# --------------------------------------------------------- scenario targets
+@dataclass(frozen=True)
+class ScenarioTarget:
+    """One recorded directional behaviour of the netem scenario library.
+
+    A target compares one metric of a registered scenario against a
+    committed threshold -- either the scenario's own value (``mode="value"``)
+    or its gap/ratio against a *baseline* scenario (``"difference"`` /
+    ``"ratio"``), both aggregated as the mean over the verification seeds.
+    ``margin`` is positive when the behaviour is reproduced; ``recorded``
+    keeps the values measured when the threshold was committed (per
+    duration, seeds 0-2) so humans can see how much headroom a regression
+    has eaten.
+    """
+
+    name: str
+    #: Metric key of :meth:`repro.netem.scenarios.ScenarioRun.metrics`.
+    metric: str
+    #: Registered scenario supplying the primary value.
+    scenario: str
+    #: ``"gt"`` or ``"lt"`` on the derived value.
+    op: str
+    #: The committed threshold the derived value is compared against.
+    threshold: float
+    #: Registered scenario supplying the comparison value (difference/ratio).
+    baseline: Optional[str] = None
+    #: ``"value"``, ``"difference"`` (scenario - baseline) or ``"ratio"``
+    #: (scenario / baseline).
+    mode: str = "value"
+    #: Why the behaviour is expected (for humans reading the margin report).
+    note: str = ""
+    #: ``{"duration=<s>": measured value}`` at commit time (seeds 0-2 mean).
+    recorded: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("value", "difference", "ratio"):
+            raise ValueError(f"unknown scenario-target mode {self.mode!r}")
+        if self.mode != "value" and self.baseline is None:
+            raise ValueError(f"scenario target {self.name!r} needs a baseline scenario")
+
+    def value(self, metrics_by_scenario: Mapping[str, Mapping[str, float]]) -> float:
+        """The derived value this target thresholds."""
+        primary = float(metrics_by_scenario[self.scenario][self.metric])
+        if self.mode == "value":
+            return primary
+        reference = float(metrics_by_scenario[self.baseline][self.metric])
+        if self.mode == "difference":
+            return primary - reference
+        if reference == 0.0:
+            # 0/0 must read as a violated ratio, not a vacuously infinite
+            # one: a regression that collapses both sides to zero has to
+            # fail the target, while baseline-only collapse is a real inf.
+            return float("inf") if primary > 0.0 else 0.0
+        return primary / reference
+
+    def margin(self, metrics_by_scenario: Mapping[str, Mapping[str, float]]) -> float:
+        """Positive when the recorded behaviour holds."""
+        value = self.value(metrics_by_scenario)
+        if self.op == "lt":
+            return self.threshold - value
+        if self.op == "gt":
+            return value - self.threshold
+        raise ValueError(f"unknown op {self.op!r}")
+
+
+#: The committed scenario target set.  Thresholds sit well inside the values
+#: measured at both verification durations (10 s and 45 s, seeds 0-2), so
+#: every margin is positive at both scales and a regression that merely
+#: *shrinks* an effect -- without flipping its sign -- still fails loudly.
+SCENARIO_TARGETS: tuple[ScenarioTarget, ...] = (
+    ScenarioTarget(
+        name="bursty-vs-iid-freeze-gap",
+        metric="freeze_ratio",
+        scenario="bursty-downlink-zoom",
+        baseline="iid-downlink-zoom",
+        mode="difference",
+        op="gt",
+        threshold=0.01,
+        note=(
+            "~24-packet Gilbert-Elliott bursts at 8% mean loss defeat "
+            "FEC/recovery and freeze the video; i.i.d. loss at the same "
+            "mean is absorbed"
+        ),
+        recorded={"duration=10": 0.034, "duration=45": 0.071},
+    ),
+    ScenarioTarget(
+        name="bursty-freeze-floor",
+        metric="freeze_ratio",
+        scenario="bursty-downlink-zoom",
+        mode="value",
+        op="gt",
+        threshold=0.01,
+        note="burst loss produces a non-trivial amount of frozen video",
+        recorded={"duration=10": 0.034, "duration=45": 0.071},
+    ),
+    ScenarioTarget(
+        name="lte-vs-static-rate-switches",
+        metric="rate_switches",
+        scenario="lte-uplink-zoom",
+        baseline="static-2.5up-zoom",
+        mode="difference",
+        op="gt",
+        threshold=0.5,
+        note=(
+            "a trace-driven LTE capacity process keeps the rate controller "
+            "re-deciding; static shaping at the same 2.5 Mbps mean does not"
+        ),
+        recorded={"duration=10": 1.0, "duration=45": 6.33},
+    ),
+    ScenarioTarget(
+        name="codel-vs-droptail-queue-delay",
+        metric="mean_queue_delay_s",
+        scenario="droptail-downlink-zoom",
+        baseline="codel-downlink-zoom",
+        mode="difference",
+        op="gt",
+        threshold=0.03,
+        note="CoDel holds the standing queue near its target; drop-tail bufferbloats",
+        recorded={"duration=10": 0.107, "duration=45": 0.467},
+    ),
+    ScenarioTarget(
+        name="codel-throughput-ratio",
+        metric="median_down_mbps",
+        scenario="codel-downlink-zoom",
+        baseline="droptail-downlink-zoom",
+        mode="ratio",
+        op="gt",
+        threshold=0.8,
+        note="CoDel's delay win must not come from starving throughput",
+        recorded={"duration=10": 0.983, "duration=45": 0.958},
+    ),
+)
+
+
+def score_scenario_metrics(
+    metrics_by_scenario: Mapping[str, Mapping[str, float]]
+) -> dict[str, float]:
+    """Per-scenario-target margins (positive = behaviour reproduced)."""
+    return {target.name: target.margin(metrics_by_scenario) for target in SCENARIO_TARGETS}
+
+
+def all_scenario_targets_satisfied(
+    metrics_by_scenario: Mapping[str, Mapping[str, float]]
+) -> bool:
+    """True when every scenario target holds for these per-scenario metrics."""
+    return all(margin > 0.0 for margin in score_scenario_metrics(metrics_by_scenario).values())

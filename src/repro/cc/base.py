@@ -15,7 +15,7 @@ swap controllers (this is the hook the ablation benchmarks use).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["FeedbackReport", "RateControllerConfig", "RateController"]
 

@@ -18,7 +18,7 @@ ramping, higher start rate variance) can reuse the same code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cc.base import FeedbackReport, RateController, RateControllerConfig
 from repro.cc.loss_bwe import LossBasedBwe, LossBweConfig

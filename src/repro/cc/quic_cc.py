@@ -14,7 +14,7 @@ two QUIC-specific differences that matter for fairness experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cc.tcp_cubic import CubicConfig, CubicState
 

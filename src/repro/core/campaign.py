@@ -21,6 +21,18 @@ callable (not a lambda or closure) taking ``seed`` plus the condition's
 ``params`` as keyword arguments and returning a picklable mapping of metric
 name to value.  The experiment drivers expose such per-condition functions
 (e.g. :func:`repro.experiments.static.measure_capacity_point`).
+
+Incremental re-runs
+-------------------
+
+Passing ``store=`` (a :class:`repro.results.ResultStore` or a directory
+path) makes the campaign content-addressed: every work unit hashes to a key
+from its payload -- :attr:`Condition.cache_payload` when set, otherwise the
+function's qualified name plus ``params`` -- the repetition seed, and the
+code-version fingerprint.  Cached units are merged without dispatching;
+only misses execute (serially or on the pool) and are written back.  Fresh
+and cached metrics both pass through the store's canonical-JSON round trip,
+so warm, cold, serial and parallel runs merge byte-identically.
 """
 
 from __future__ import annotations
@@ -29,9 +41,13 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence, Union
 
 from repro.core.analysis import RunSummary, aggregate_runs
+
+if TYPE_CHECKING:  # the core layer only needs the name for annotations
+    from repro.results.store import ResultStore
 
 __all__ = ["Condition", "ConditionResult", "run_campaign", "default_workers"]
 
@@ -54,6 +70,12 @@ class Condition:
         Number of repetitions of this condition.
     seed:
         Base seed; repetition ``i`` runs with ``seed + i``.
+    cache_payload:
+        JSON-serialisable content the result store hashes for this
+        condition instead of the generic ``(fn qualname, params)`` payload.
+        Drivers whose ``params`` name things indirectly (the scenario sweep
+        passes a registry *name*) put the resolved content here so that
+        editing the referenced spec re-keys the unit.
     """
 
     name: str
@@ -61,6 +83,7 @@ class Condition:
     params: dict[str, Any] = field(default_factory=dict)
     repetitions: int = 1
     seed: int = 0
+    cache_payload: Optional[dict[str, Any]] = None
 
     def seed_for(self, repetition: int) -> int:
         """Deterministic per-repetition seed (independent of scheduling)."""
@@ -98,10 +121,35 @@ def _execute_unit(
     return index, repetition, fn(seed=seed, **params)
 
 
+def _unit_key(condition: Condition, seed: int, fingerprint: str) -> Optional[str]:
+    """The store key of one ``(condition, seed)`` unit, or ``None``.
+
+    ``None`` marks the unit uncacheable: its payload (explicit or derived)
+    is not JSON-expressible, or its function has no stable qualified name.
+    Uncacheable units always execute -- caching is an optimisation, never a
+    correctness requirement.
+    """
+    from repro.results.fingerprint import result_key
+
+    payload = condition.cache_payload
+    if payload is None:
+        module = getattr(condition.fn, "__module__", None)
+        qualname = getattr(condition.fn, "__qualname__", None)
+        if not module or not qualname:
+            return None
+        payload = {"fn": f"{module}.{qualname}", "params": condition.params}
+    try:
+        return result_key(payload, seed, fingerprint)
+    except TypeError:
+        return None
+
+
 def run_campaign(
     conditions: Sequence[Condition],
     workers: Optional[int | str] = None,
     mp_context: Optional[str] = None,
+    store: Union["ResultStore", str, Path, None] = None,
+    use_cache: bool = True,
 ) -> list[ConditionResult]:
     """Execute every repetition of every condition and merge the results.
 
@@ -118,33 +166,82 @@ def run_campaign(
         where available (cheap worker start-up on Linux) and ``spawn``
         elsewhere; every work unit is a module-level picklable, so both
         start methods produce identical results.
+    store:
+        A :class:`repro.results.ResultStore` (or a directory path) consulted
+        before dispatch; hits are merged without executing, misses execute
+        and are written back.  ``None`` (the default) disables caching.
+    use_cache:
+        With ``False`` the store is not *read* -- every unit re-executes --
+        but fresh results are still written back, refreshing the store (the
+        ``--no-cache`` escape hatch).
 
     Returns
     -------
     One :class:`ConditionResult` per condition, in input order, with
-    repetitions in repetition order -- identical regardless of worker count.
+    repetitions in repetition order -- identical regardless of worker count
+    and of which units came from the store.
     """
     if workers == "auto":
         workers = default_workers()
-    units = [
-        (index, repetition, condition.fn, condition.params, condition.seed_for(repetition))
-        for index, condition in enumerate(conditions)
-        for repetition in range(condition.repetitions)
-    ]
     merged: dict[int, dict[int, Mapping[str, float]]] = {
         index: {} for index in range(len(conditions))
     }
+
+    result_store = None
+    unit_keys: dict[tuple[int, int], Optional[str]] = {}
+    if store is not None:
+        from repro.results.fingerprint import code_fingerprint
+        from repro.results.store import resolve_store
+
+        result_store = resolve_store(store)
+        fingerprint = code_fingerprint()
+
+    units = []
+    for index, condition in enumerate(conditions):
+        for repetition in range(condition.repetitions):
+            seed = condition.seed_for(repetition)
+            key: Optional[str] = None
+            if result_store is not None:
+                key = _unit_key(condition, seed, fingerprint)
+                unit_keys[(index, repetition)] = key
+                if key is not None and use_cache:
+                    cached = result_store.get(key)
+                    if cached is not None:
+                        merged[index][repetition] = cached
+                        continue
+            units.append((index, repetition, condition.fn, condition.params, seed))
+
+    def _record(index: int, repetition: int, metrics: Mapping[str, float]) -> None:
+        if result_store is not None:
+            key = unit_keys.get((index, repetition))
+            if key is not None:
+                try:
+                    metrics = result_store.put(
+                        key,
+                        metrics,
+                        meta={
+                            "condition": conditions[index].name,
+                            "repetition": repetition,
+                            "seed": conditions[index].seed_for(repetition),
+                        },
+                    )
+                except (TypeError, OSError):
+                    # Non-JSON metrics or an unwritable/full store directory:
+                    # the result is usable this run, it just is not cached.
+                    pass
+        merged[index][repetition] = metrics
+
     if workers is None or workers <= 1:
         for unit in units:
             index, repetition, metrics = _execute_unit(unit)
-            merged[index][repetition] = metrics
-    else:
+            _record(index, repetition, metrics)
+    elif units:
         if mp_context is None:
             mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         context = multiprocessing.get_context(mp_context)
         with ProcessPoolExecutor(max_workers=int(workers), mp_context=context) as pool:
             for index, repetition, metrics in pool.map(_execute_unit, units, chunksize=1):
-                merged[index][repetition] = metrics
+                _record(index, repetition, metrics)
     return [
         ConditionResult(
             condition=condition,

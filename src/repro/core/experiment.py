@@ -15,7 +15,7 @@ taking an :class:`ExperimentConfig` and a seed and returning a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 import numpy as np
 

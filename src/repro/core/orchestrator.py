@@ -13,7 +13,7 @@ of what was done to the call and when.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.net.simulator import Simulator

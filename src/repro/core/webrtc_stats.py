@@ -14,7 +14,7 @@ getStats() dumps the authors post-processed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

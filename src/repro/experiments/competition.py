@@ -24,7 +24,7 @@ import numpy as np
 from repro.apps.iperf import IperfFlow
 from repro.apps.netflix import NetflixPlayer
 from repro.apps.youtube import YouTubePlayer
-from repro.core.analysis import aggregate_runs, summarize_series
+from repro.core.analysis import aggregate_runs
 from repro.core.capture import PacketCapture
 from repro.core.metrics import link_share, tx_loss_rate
 from repro.core.orchestrator import CallOrchestrator

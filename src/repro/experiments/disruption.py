@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from repro.core.analysis import aggregate_runs, summarize_series
 from repro.core.metrics import time_to_recovery
 from repro.core.profiles import DISRUPTION_LEVELS_MBPS, disruption_profile

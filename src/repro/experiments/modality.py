@@ -12,7 +12,8 @@ Reproduces Figure 15:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.campaign import Condition, run_campaign
 from repro.core.profiles import PARTICIPANT_COUNTS
@@ -56,13 +57,15 @@ def run_participant_sweep(
     repetitions: int = 5,
     seed: int = 0,
     workers: Optional[int | str] = None,
+    store: Union[str, Path, None, object] = None,
 ) -> dict[str, dict[str, FigureSeries]]:
     """Figure 15: C1's network utilization vs the number of participants.
 
     Returns ``{"uplink": {vca: series}, "downlink": {vca: series}}``.  In
     ``speaker`` mode every other participant pins C1 (Figure 15c measures the
     pinned client's uplink).  ``workers`` fans the grid out over processes
-    via :func:`repro.core.campaign.run_campaign`.
+    via :func:`repro.core.campaign.run_campaign`; ``store`` re-scores
+    unchanged grid cells from the content-addressed result cache.
     """
     if mode not in ("gallery", "speaker"):
         raise ValueError("mode must be 'gallery' or 'speaker'")
@@ -92,7 +95,7 @@ def run_participant_sweep(
         )
         for count, vca in grid
     ]
-    results = run_campaign(conditions, workers=workers)
+    results = run_campaign(conditions, workers=workers, store=store)
     for condition_result, (count, vca) in zip(results, grid):
         up_summary = condition_result.summary("up_mbps")
         down_summary = condition_result.summary("down_mbps")

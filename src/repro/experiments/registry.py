@@ -40,8 +40,16 @@ class ExperimentSpec:
     @property
     def supports_workers(self) -> bool:
         """Whether the driver can fan its grid out over a process pool."""
+        return self._has_parameter("workers")
+
+    @property
+    def supports_store(self) -> bool:
+        """Whether the driver can consult a content-addressed result store."""
+        return self._has_parameter("store")
+
+    def _has_parameter(self, name: str) -> bool:
         try:
-            return "workers" in inspect.signature(self.driver).parameters
+            return name in inspect.signature(self.driver).parameters
         except (TypeError, ValueError):  # pragma: no cover - builtins only
             return False
 
@@ -196,14 +204,17 @@ def list_experiments() -> list[str]:
 def run_experiment(
     experiment_id: str,
     workers: Optional[int | str] = None,
+    store: Optional[Any] = None,
     **kwargs: Any,
 ):
     """Run one experiment by id, optionally over a process pool.
 
     ``workers`` is forwarded to drivers whose grids support the parallel
-    campaign runner (:attr:`ExperimentSpec.supports_workers`); for the
+    campaign runner (:attr:`ExperimentSpec.supports_workers`) and ``store``
+    (a result-store directory or :class:`repro.results.ResultStore`) to
+    drivers that can re-score unchanged grid cells from cache; for the
     remaining drivers a non-``None`` value raises so a typo'd campaign
-    doesn't silently run serially.
+    doesn't silently run serially / uncached.
     """
     spec = get_experiment(experiment_id)
     if workers is not None:
@@ -212,4 +223,10 @@ def run_experiment(
                 f"experiment {experiment_id!r} does not support parallel workers"
             )
         kwargs["workers"] = workers
+    if store is not None:
+        if not spec.supports_store:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not support a result store"
+            )
+        kwargs["store"] = store
     return spec.driver(**kwargs)

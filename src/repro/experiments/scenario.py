@@ -7,17 +7,38 @@ experiment id: it expands a set of registered scenarios into a
 :class:`~repro.core.results.TableResult` row per scenario with the
 scenario library's core metrics (bitrate, freezes, rate switches, tx-side
 loss, queueing delay).
+
+With ``store=`` the sweep is incremental: every ``(scenario, repetition)``
+cell is content-addressed by the *resolved* :class:`ScenarioSpec` payload
+(not just its registry name), the effective duration, the repetition seed
+and the code-version fingerprint, so an unchanged sweep re-scores entirely
+from cache while editing one spec re-simulates exactly that scenario.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import dataclasses
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.results.store import ResultStore
 
 from repro.core.campaign import Condition, run_campaign
 from repro.core.results import TableResult
-from repro.netem.scenarios import get_scenario, list_scenarios, run_scenario_by_name
+from repro.netem.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    run_scenario_by_name,
+)
 
-__all__ = ["run_scenario_sweep"]
+__all__ = [
+    "run_scenario_sweep",
+    "scenario_cache_payload",
+    "scenario_conditions",
+    "registry_manifest",
+]
 
 #: Metrics reported per scenario (mean over repetitions).
 SWEEP_METRICS = (
@@ -32,6 +53,68 @@ SWEEP_METRICS = (
 )
 
 
+def scenario_cache_payload(
+    spec: ScenarioSpec, duration_s: Optional[float] = None
+) -> dict[str, Any]:
+    """The content the result store hashes for one scenario condition.
+
+    The full spec is flattened to plain data (``dataclasses.asdict``), so
+    *any* field edit -- a shaping level, a loss parameter, the VCA -- changes
+    the hash; the registry name alone never would.  ``duration_s`` records
+    the effective call duration (``None`` resolves to the spec's own).
+    """
+    duration = float(duration_s) if duration_s is not None else spec.duration_s
+    return {
+        "kind": "scenario",
+        "spec": dataclasses.asdict(spec),
+        "duration_s": duration,
+    }
+
+
+def scenario_conditions(
+    names: Sequence[str],
+    duration_s: Optional[float] = None,
+    repetitions: int = 2,
+    seed: int = 0,
+) -> list[Condition]:
+    """Campaign conditions (with cache payloads) for registered scenarios."""
+    return [
+        Condition(
+            name=name,
+            fn=run_scenario_by_name,
+            params={"name": name, "duration_s": duration_s},
+            repetitions=repetitions,
+            seed=seed,
+            cache_payload=scenario_cache_payload(get_scenario(name), duration_s),
+        )
+        for name in names
+    ]
+
+
+def registry_manifest(
+    scenarios: Optional[Sequence[str]] = None, tag: Optional[str] = None
+) -> dict[str, Any]:
+    """Spec-hash manifest of the (selected) registry, computed without running.
+
+    Maps every scenario name to the content hash of its spec at its default
+    duration, alongside the current code fingerprint.  CI keys its
+    ``actions/cache`` entry for the result store on this manifest: the key
+    changes exactly when a spec, the calibration constants, or the store
+    schema change, and prefix ``restore-keys`` still restore the previous
+    store so unchanged cells stay warm.
+    """
+    from repro.results.fingerprint import code_fingerprint, payload_hash
+
+    if scenarios is not None:
+        specs = [get_scenario(name) for name in scenarios]
+    else:
+        specs = list_scenarios(tag=tag)
+    return {
+        "fingerprint": code_fingerprint(),
+        "scenarios": {spec.name: payload_hash(scenario_cache_payload(spec)) for spec in specs},
+    }
+
+
 def run_scenario_sweep(
     scenarios: Optional[Sequence[str]] = None,
     tag: Optional[str] = None,
@@ -39,12 +122,15 @@ def run_scenario_sweep(
     repetitions: int = 2,
     seed: int = 0,
     workers: Optional[int | str] = None,
+    store: Union["ResultStore", str, Path, None] = None,
+    use_cache: bool = True,
 ) -> TableResult:
     """Run every selected scenario ``repetitions`` times and tabulate.
 
     ``scenarios`` selects by name; ``tag`` selects a whole pack
     (``"paper-baseline"`` / ``"beyond-paper"``); with neither, the full
     registry runs.  Repetition ``i`` of a scenario uses ``seed + i``.
+    ``store``/``use_cache`` make the sweep incremental (see module docs).
     """
     if scenarios is not None:
         names = [get_scenario(name).name for name in scenarios]
@@ -52,17 +138,10 @@ def run_scenario_sweep(
         names = [spec.name for spec in list_scenarios(tag=tag)]
     if not names:
         raise ValueError("no scenarios selected")
-    conditions = [
-        Condition(
-            name=name,
-            fn=run_scenario_by_name,
-            params={"name": name, "duration_s": duration_s},
-            repetitions=repetitions,
-            seed=seed,
-        )
-        for name in names
-    ]
-    results = run_campaign(conditions, workers=workers)
+    conditions = scenario_conditions(
+        names, duration_s=duration_s, repetitions=repetitions, seed=seed
+    )
+    results = run_campaign(conditions, workers=workers, store=store, use_cache=use_cache)
     table = TableResult(
         table_id="scenario_sweep",
         title="Scenario library sweep (netem)",

@@ -13,7 +13,8 @@ Reproduces:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.analysis import aggregate_runs
 from repro.core.campaign import Condition, run_campaign
@@ -109,12 +110,15 @@ def run_capacity_sweep(
     repetitions: int = 5,
     seed: int = 0,
     workers: Optional[int | str] = None,
+    store: Union[str, Path, None, object] = None,
 ) -> dict[str, FigureSeries]:
     """Figure 1a/1b: median bitrate vs shaped capacity, one series per VCA.
 
     ``workers`` fans the (level x vca x repetition) grid out over processes
     via :func:`repro.core.campaign.run_campaign`; the default (serial)
-    produces identical numbers.
+    produces identical numbers.  ``store`` (a
+    :class:`repro.results.ResultStore` or directory path) makes the sweep
+    incremental: unchanged grid cells re-score from cache.
     """
     figure_id = "fig1a" if direction == "up" else "fig1b"
     series: dict[str, FigureSeries] = {
@@ -143,7 +147,7 @@ def run_capacity_sweep(
         for level in levels
         for vca in vcas
     ]
-    results = run_campaign(conditions, workers=workers)
+    results = run_campaign(conditions, workers=workers, store=store)
     for condition_result, (level, vca) in zip(
         results, ((level, vca) for level in levels for vca in vcas)
     ):
@@ -160,6 +164,7 @@ def run_platform_comparison(
     repetitions: int = 5,
     seed: int = 0,
     workers: Optional[int | str] = None,
+    store: Union[str, Path, None, object] = None,
 ) -> dict[str, FigureSeries]:
     """Figure 1c: native vs Chrome clients under uplink shaping."""
     result = run_capacity_sweep(
@@ -170,6 +175,7 @@ def run_platform_comparison(
         repetitions=repetitions,
         seed=seed,
         workers=workers,
+        store=store,
     )
     for series in result.values():
         series.figure_id = "fig1c"

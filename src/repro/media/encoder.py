@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.media.codec import RESOLUTION_LADDER, CodecModel, Resolution

@@ -19,7 +19,7 @@ is dropped altogether when the budget cannot sustain it.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.media.codec import CodecModel, Resolution

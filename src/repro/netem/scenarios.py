@@ -439,6 +439,12 @@ def _register_builtin_packs() -> None:
         vca="zoom", direction="up", profile=("lte", {"mean_mbps": 2.5}), tags=beyond,
     ))
     register_scenario(ScenarioSpec(
+        name="static-2.5up-zoom",
+        description="Static 2.5 Mbps uplink at the LTE trace mean (control for lte-uplink-zoom)",
+        vca="zoom", direction="up", profile=("constant", {"mbps": 2.5}),
+        tags=beyond + ("control",),
+    ))
+    register_scenario(ScenarioSpec(
         name="lte-downlink-meet",
         description="Meet downlink over a synthetic LTE capacity process (mean 2.5 Mbps)",
         vca="meet", direction="down", profile=("lte", {"mean_mbps": 2.5}), tags=beyond,

@@ -14,7 +14,7 @@ uplink stream they terminate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.cc.base import FeedbackReport

@@ -366,7 +366,6 @@ class RtpStreamSender:
 
     # ------------------------------------------------------------- feedback
     def _on_rtcp(self, packet: Packet) -> None:
-        now = self.sim.now
         if is_fir(packet):
             self.fir_received += 1
             self.encoder.request_keyframe()

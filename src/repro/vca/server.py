@@ -740,7 +740,6 @@ class MediaServer:
         budget: float,
         requested: Optional[Resolution],
     ) -> tuple[set[str], float]:
-        low_rate = sender_state.layer_meters.get("low", _LayerMeter()).rate_bps or 125_000.0
         high_rate = sender_state.layer_meters.get("high", _LayerMeter()).rate_bps or 800_000.0
         wants_high = requested is None or requested.width >= 640
         high_floor = high_rate * self.profile.server_thinning_floor

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.core.campaign import Condition, run_campaign
-from repro.core.capture import FlowSeries, PacketCapture
+from repro.core.capture import PacketCapture
 from repro.net.link import Link
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketKind

@@ -16,7 +16,7 @@ from repro.media.encoder import (
 )
 from repro.media.layout import ViewMode, grid_dimensions, layout_for, tile_video_area
 from repro.media.quality import FreezeTracker
-from repro.media.simulcast import DEFAULT_MEET_LAYERS, SimulcastEncoder
+from repro.media.simulcast import SimulcastEncoder
 from repro.media.source import TalkingHeadSource
 from repro.media.svc import DEFAULT_ZOOM_LAYERS, SVCEncoder
 

@@ -6,9 +6,9 @@ import pytest
 from hypothesis import given, settings
 import hypothesis.strategies as st
 
-from repro.net.link import DEFAULT_QUEUE_BYTES, Link
+from repro.net.link import Link
 from repro.net.node import Host
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet
 from repro.net.router import Router
 from repro.net.shaper import UNCONSTRAINED_BPS, BandwidthProfile, LinkShaper
 from repro.net.simulator import Simulator

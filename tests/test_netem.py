@@ -18,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.capture import PacketCapture
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.shaper import BandwidthProfile, LinkShaper

@@ -1,0 +1,376 @@
+"""The content-addressed result store and incremental campaign sweeps.
+
+Covers the invalidation semantics the store's correctness rests on:
+
+* an unchanged sweep re-scores entirely from cache (zero dispatches),
+* editing one scenario spec re-keys -- and re-runs -- exactly that scenario,
+* a calibration-constants or store-schema bump invalidates everything,
+* a corrupted store entry is discarded and re-executed, never trusted,
+* warm and cold sweep results merge byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.scenario as scenario_mod
+import repro.results.fingerprint as fingerprint_mod
+from repro.calibrate.constants import COMMITTED_CONSTANTS, set_active_constants
+from repro.calibrate.targets import SCENARIO_TARGETS, ScenarioTarget, score_scenario_metrics
+from repro.calibrate.verify import target_scenario_names, verify_scenarios
+from repro.core.campaign import Condition, run_campaign
+from repro.experiments.registry import run_experiment
+from repro.experiments.scenario import (
+    SWEEP_METRICS,
+    registry_manifest,
+    run_scenario_sweep,
+    scenario_cache_payload,
+)
+from repro.netem.scenarios import SCENARIOS, ScenarioSpec, get_scenario
+from repro.results import ResultStore, code_fingerprint, payload_hash, result_key
+from repro.results.store import store_from_env
+
+
+# Module-level so the campaign pool could pickle it; the tests run serially.
+def _counted_metrics(seed: int = 0, value: float = 1.0, _calls: list = []) -> dict[str, float]:
+    _calls.append(seed)
+    return {"metric": value + seed, "nan_free": 0.25}
+
+
+def _dispatch_log(monkeypatch) -> list[tuple[str, int]]:
+    """Replace the scenario work unit with a cheap counted fake."""
+    calls: list[tuple[str, int]] = []
+
+    def fake_run(name: str, seed: int = 0, duration_s: float | None = None) -> dict[str, float]:
+        calls.append((name, seed))
+        base = float(len(name)) + seed
+        metrics = (*SWEEP_METRICS, "mean_queue_delay_s")
+        return {metric: base + index for index, metric in enumerate(metrics)}
+
+    monkeypatch.setattr(scenario_mod, "run_scenario_by_name", fake_run)
+    return calls
+
+
+class TestKeys:
+    def test_key_is_stable_across_processes(self):
+        payload = {"kind": "scenario", "b": [1, 2], "a": {"x": 1.5}}
+        assert result_key(payload, 3) == result_key({"a": {"x": 1.5}, "b": [1, 2], "kind": "scenario"}, 3)
+
+    def test_key_varies_with_seed_payload_and_fingerprint(self):
+        payload = {"kind": "scenario", "mbps": 2.0}
+        base = result_key(payload, 0)
+        assert result_key(payload, 1) != base
+        assert result_key({"kind": "scenario", "mbps": 2.5}, 0) != base
+        assert result_key(payload, 0, fingerprint="deadbeef") != base
+
+    def test_unjsonable_payload_raises(self):
+        with pytest.raises(TypeError):
+            payload_hash({"fn": object()})
+
+    def test_spec_edit_changes_payload_hash(self):
+        spec = get_scenario("bursty-downlink-zoom")
+        edited = ScenarioSpec(
+            name=spec.name,
+            description=spec.description,
+            vca=spec.vca,
+            direction=spec.direction,
+            profile=("constant", {"mbps": 3.0}),
+            loss=spec.loss,
+            tags=spec.tags,
+        )
+        assert payload_hash(scenario_cache_payload(spec)) != payload_hash(
+            scenario_cache_payload(edited)
+        )
+        # ... while the duration alone also re-keys.
+        assert payload_hash(scenario_cache_payload(spec, 30.0)) != payload_hash(
+            scenario_cache_payload(spec, 45.0)
+        )
+
+    def test_fingerprint_tracks_constants_and_schema(self, monkeypatch):
+        base = code_fingerprint()
+        previous = set_active_constants(
+            COMMITTED_CONSTANTS.replace(teams_bwe_held_hold_s=9.875)
+        )
+        try:
+            assert code_fingerprint() != base
+        finally:
+            set_active_constants(previous)
+        assert code_fingerprint() == base
+        monkeypatch.setattr(fingerprint_mod, "STORE_SCHEMA_VERSION", 999)
+        assert code_fingerprint() != base
+
+
+class TestStore:
+    def test_put_get_roundtrip_and_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key({"k": 1}, 0)
+        assert store.get(key) is None
+        assert store.misses == 1
+        stored = store.put(key, {"b": 2.5, "a": 1.0}, meta={"condition": "x"})
+        assert store.get(key) == stored == {"a": 1.0, "b": 2.5}
+        assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+        assert store.keys() == [key]
+
+    def test_normalize_roundtrips_floats_exactly(self):
+        metrics = {"pi": 0.1 + 0.2, "tiny": 5e-324, "big": 1.2345678901234567e18, "n": 3}
+        assert ResultStore.normalize(metrics) == metrics
+
+    def test_corrupted_entry_discarded_not_trusted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key({"k": "corrupt"}, 0)
+        store.put(key, {"v": 1.0})
+        path = store._object_path(key)
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(key) is None
+        assert store.discarded == 1
+        assert not path.exists()
+        # Valid JSON under the wrong key is equally untrusted.
+        other = result_key({"k": "other"}, 0)
+        store.put(other, {"v": 2.0})
+        path.write_text(store._object_path(other).read_text(), encoding="utf-8")
+        assert store.get(key) is None
+        assert store.discarded == 2
+
+    def test_schema_bump_invalidates_existing_entries(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        key = result_key({"k": 1}, 0)
+        store.put(key, {"v": 1.0})
+        monkeypatch.setattr(fingerprint_mod, "STORE_SCHEMA_VERSION", 999)
+        assert store.get(key) is None
+        assert store.discarded == 1
+
+    def test_store_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        assert store_from_env() is None
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "env-store"))
+        store = store_from_env()
+        assert store is not None and store.root == tmp_path / "env-store"
+
+
+class TestCampaignCaching:
+    def test_generic_conditions_cache_by_fn_and_params(self, tmp_path):
+        _counted_metrics.__defaults__[-1].clear()
+        calls = _counted_metrics.__defaults__[-1]
+        conditions = [
+            Condition(name="a", fn=_counted_metrics, params={"value": 2.0}, repetitions=2)
+        ]
+        store = ResultStore(tmp_path)
+        cold = run_campaign(conditions, store=store)
+        assert len(calls) == 2
+        warm = run_campaign(conditions, store=store)
+        assert len(calls) == 2, "warm campaign must not dispatch"
+        assert [r.runs for r in warm] == [r.runs for r in cold]
+        # A params change is a different key.
+        run_campaign([Condition(name="a", fn=_counted_metrics, params={"value": 3.0})], store=store)
+        assert len(calls) == 3
+
+    def test_no_cache_reexecutes_but_refreshes(self, tmp_path):
+        _counted_metrics.__defaults__[-1].clear()
+        calls = _counted_metrics.__defaults__[-1]
+        conditions = [Condition(name="a", fn=_counted_metrics)]
+        store = ResultStore(tmp_path)
+        run_campaign(conditions, store=store)
+        run_campaign(conditions, store=store, use_cache=False)
+        assert len(calls) == 2
+        assert store.puts == 2
+
+    def test_unwritable_store_does_not_abort_the_campaign(self, tmp_path):
+        _counted_metrics.__defaults__[-1].clear()
+        calls = _counted_metrics.__defaults__[-1]
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        results = run_campaign(
+            [Condition(name="a", fn=_counted_metrics)], store=ResultStore(blocker)
+        )
+        assert len(calls) == 1
+        assert results[0].runs[0]["metric"] == 1.0
+
+    def test_store_disabled_is_the_default(self, tmp_path):
+        _counted_metrics.__defaults__[-1].clear()
+        calls = _counted_metrics.__defaults__[-1]
+        conditions = [Condition(name="a", fn=_counted_metrics)]
+        run_campaign(conditions)
+        run_campaign(conditions)
+        assert len(calls) == 2
+
+
+class TestScenarioSweepIncremental:
+    NAMES = ("bursty-downlink-zoom", "iid-downlink-zoom")
+
+    def test_unchanged_sweep_executes_zero_simulations(self, tmp_path, monkeypatch):
+        calls = _dispatch_log(monkeypatch)
+        store = ResultStore(tmp_path)
+        kwargs = dict(scenarios=self.NAMES, duration_s=4.0, repetitions=2, store=store)
+        cold = run_scenario_sweep(**kwargs)
+        assert len(calls) == 4
+        store.reset_counters()
+        warm = run_scenario_sweep(**kwargs)
+        assert len(calls) == 4, "warm sweep dispatched a simulation"
+        assert store.misses == 0 and store.hits == 4
+        assert warm.rows == cold.rows
+
+    def test_spec_edit_reruns_exactly_that_scenario(self, tmp_path, monkeypatch):
+        calls = _dispatch_log(monkeypatch)
+        store = ResultStore(tmp_path)
+        kwargs = dict(scenarios=self.NAMES, duration_s=4.0, repetitions=2, store=store)
+        run_scenario_sweep(**kwargs)
+        assert len(calls) == 4
+        spec = SCENARIOS["iid-downlink-zoom"]
+        edited = ScenarioSpec(
+            name=spec.name,
+            description=spec.description,
+            vca=spec.vca,
+            direction=spec.direction,
+            profile=spec.profile,
+            loss=("iid", {"rate": 0.095}),
+            tags=spec.tags,
+        )
+        monkeypatch.setitem(SCENARIOS, "iid-downlink-zoom", edited)
+        calls.clear()
+        run_scenario_sweep(**kwargs)
+        assert sorted(set(name for name, _ in calls)) == ["iid-downlink-zoom"]
+        assert len(calls) == 2, "only the edited scenario's repetitions re-run"
+
+    def test_constants_bump_invalidates_everything(self, tmp_path, monkeypatch):
+        calls = _dispatch_log(monkeypatch)
+        store = ResultStore(tmp_path)
+        kwargs = dict(scenarios=self.NAMES, duration_s=4.0, repetitions=1, store=store)
+        run_scenario_sweep(**kwargs)
+        assert len(calls) == 2
+        previous = set_active_constants(
+            COMMITTED_CONSTANTS.replace(zoom_relay_loss_smoothing=0.4375)
+        )
+        try:
+            calls.clear()
+            run_scenario_sweep(**kwargs)
+            assert len(calls) == 2, "a constants change must invalidate every entry"
+        finally:
+            set_active_constants(previous)
+        # Back on the committed constants the original entries are still warm.
+        calls.clear()
+        run_scenario_sweep(**kwargs)
+        assert len(calls) == 0
+
+    def test_warm_and_cold_real_sweeps_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        kwargs = dict(scenarios=self.NAMES, duration_s=2.0, repetitions=2, store=store)
+        cold = run_scenario_sweep(**kwargs)
+        store.reset_counters()
+        warm = run_scenario_sweep(**kwargs)
+        assert store.misses == 0 and store.puts == 0
+        def encode(table) -> bytes:
+            return json.dumps(
+                {"columns": table.columns, "rows": table.rows}, sort_keys=True
+            ).encode()
+
+        assert encode(warm) == encode(cold)
+        # ... and identical to a storeless run of the same grid.
+        bare = run_scenario_sweep(scenarios=self.NAMES, duration_s=2.0, repetitions=2)
+        assert encode(bare) == encode(cold)
+
+    def test_registry_manifest_tracks_spec_edits(self, monkeypatch):
+        base = registry_manifest(tag="beyond-paper")
+        assert set(base["scenarios"]) == {
+            s.name for s in SCENARIOS.values() if "beyond-paper" in s.tags
+        }
+        spec = SCENARIOS["bursty-downlink-zoom"]
+        edited = ScenarioSpec(
+            name=spec.name,
+            description=spec.description,
+            vca=spec.vca,
+            direction=spec.direction,
+            profile=("constant", {"mbps": 2.125}),
+            loss=spec.loss,
+            tags=spec.tags,
+        )
+        monkeypatch.setitem(SCENARIOS, spec.name, edited)
+        after = registry_manifest(tag="beyond-paper")
+        changed = [n for n in base["scenarios"] if base["scenarios"][n] != after["scenarios"][n]]
+        assert changed == ["bursty-downlink-zoom"]
+
+    def test_run_experiment_forwards_store(self, tmp_path, monkeypatch):
+        calls = _dispatch_log(monkeypatch)
+        store = ResultStore(tmp_path)
+        run_experiment(
+            "scenario_sweep",
+            scenarios=self.NAMES,
+            duration_s=4.0,
+            repetitions=1,
+            store=store,
+        )
+        assert len(calls) == 2 and store.puts == 2
+        with pytest.raises(ValueError):
+            run_experiment("fig9", store=store)
+
+
+class TestScenarioTargets:
+    METRICS = {
+        "bursty-downlink-zoom": {"freeze_ratio": 0.06},
+        "iid-downlink-zoom": {"freeze_ratio": 0.01},
+        "lte-uplink-zoom": {"rate_switches": 4.0},
+        "static-2.5up-zoom": {"rate_switches": 1.0},
+        "codel-downlink-zoom": {"mean_queue_delay_s": 0.02, "median_down_mbps": 0.72},
+        "droptail-downlink-zoom": {"mean_queue_delay_s": 0.30, "median_down_mbps": 0.75},
+    }
+
+    def test_committed_targets_reference_registered_scenarios(self):
+        for name in target_scenario_names():
+            assert name in SCENARIOS, name
+
+    def test_margin_modes(self):
+        margins = score_scenario_metrics(self.METRICS)
+        assert margins["bursty-vs-iid-freeze-gap"] == pytest.approx(0.05 - 0.01)
+        assert margins["lte-vs-static-rate-switches"] == pytest.approx(3.0 - 0.5)
+        assert margins["codel-vs-droptail-queue-delay"] == pytest.approx(0.28 - 0.03)
+        assert margins["codel-throughput-ratio"] == pytest.approx(0.72 / 0.75 - 0.8)
+        assert all(m > 0 for m in margins.values())
+
+    def test_margin_flips_when_behaviour_regresses(self):
+        regressed = {k: dict(v) for k, v in self.METRICS.items()}
+        regressed["codel-downlink-zoom"]["mean_queue_delay_s"] = 0.29
+        margins = score_scenario_metrics(regressed)
+        assert margins["codel-vs-droptail-queue-delay"] < 0.0
+
+    def test_ratio_collapse_to_zero_is_a_violation(self):
+        collapsed = {k: dict(v) for k, v in self.METRICS.items()}
+        collapsed["codel-downlink-zoom"]["median_down_mbps"] = 0.0
+        collapsed["droptail-downlink-zoom"]["median_down_mbps"] = 0.0
+        margins = score_scenario_metrics(collapsed)
+        assert margins["codel-throughput-ratio"] < 0.0
+        # A baseline-only collapse is a genuinely infinite ratio, though.
+        collapsed["codel-downlink-zoom"]["median_down_mbps"] = 0.1
+        assert score_scenario_metrics(collapsed)["codel-throughput-ratio"] > 0.0
+
+    def test_invalid_target_definitions_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioTarget(
+                name="x", metric="m", scenario="s", op="gt", threshold=0.0, mode="quotient"
+            )
+        with pytest.raises(ValueError):
+            ScenarioTarget(
+                name="x", metric="m", scenario="s", op="gt", threshold=0.0, mode="ratio"
+            )
+
+    def test_verify_scenarios_report_structure_and_cache(self, tmp_path, monkeypatch):
+        calls = _dispatch_log(monkeypatch)
+        store = ResultStore(tmp_path)
+        report = verify_scenarios(duration_s=4.0, repetitions=2, store=store)
+        expected_units = 2 * len(target_scenario_names())
+        assert len(calls) == expected_units
+        assert set(report["margins"]) == {t.name for t in SCENARIO_TARGETS}
+        assert len(report["results"]) == len(SCENARIO_TARGETS)
+        assert set(report["metrics_by_scenario"]) == set(target_scenario_names())
+        calls.clear()
+        warm = verify_scenarios(duration_s=4.0, repetitions=2, store=store)
+        assert len(calls) == 0, "warm verification must re-score from cache"
+        assert warm["margins"] == report["margins"]
+
+    def test_verify_scenarios_writes_report(self, tmp_path, monkeypatch):
+        _dispatch_log(monkeypatch)
+        out = tmp_path / "SCENARIO_MARGINS.json"
+        report = verify_scenarios(duration_s=4.0, repetitions=1, output_path=out)
+        on_disk = json.loads(out.read_text())
+        assert on_disk["satisfied"] == report["satisfied"]
+        assert on_disk["targets"][0]["name"] == SCENARIO_TARGETS[0].name

@@ -14,7 +14,7 @@ from repro.net.node import Host
 from repro.net.packet import Packet, PacketKind
 from repro.net.simulator import Simulator
 from repro.rtp.fec import FecGenerator
-from repro.rtp.jitter import ReceiverConfig, StreamReceiver
+from repro.rtp.jitter import StreamReceiver
 from repro.rtp.packetizer import Packetizer, make_audio_packet
 from repro.rtp.rtcp import extract_report, is_fir, is_report, make_fir_packet, make_report_packet
 from repro.rtp.session import RtpStreamSender, SenderConfig
@@ -44,7 +44,6 @@ class TestPacketizer:
         frame = make_frame(size_bytes=5000)
         packets = packetizer.packetize(frame, now=1.0)
         assert len(packets) == 5
-        overhead = packets[0].size_bytes - (packets[0].size_bytes - 48)  # header constant
         payload_total = sum(p.size_bytes - 48 for p in packets)
         assert payload_total == 5000
 

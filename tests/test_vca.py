@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.capture import PacketCapture
 from repro.core.profiles import static_profile
-from repro.media.codec import Resolution
 from repro.media.layout import ViewMode
 from repro.net.shaper import BandwidthProfile
 from repro.net.simulator import Simulator
@@ -339,7 +338,7 @@ class TestServerDownlinkEstimator:
 
         sim, server = self.make_server("meet")
         sender = server.add_participant("C1")
-        receiver = server.add_participant("C2")
+        server.add_participant("C2")
         # C1 uplinks both simulcast copies; C2 is stuck on the low one.
         sender.layer_meters["low"] = _LayerMeter(rate_bps=130_000.0)
         sender.layer_meters["high"] = _LayerMeter(rate_bps=800_000.0)
