@@ -20,10 +20,18 @@ content-addressed result store: unchanged (scenario, seed, duration) cells
 re-score from cache.  ``--no-cache`` re-executes everything but still
 refreshes the store.
 
+Fault tolerance (--sweep / --verify-targets): ``--journal DIR`` checkpoints
+per-unit progress so a killed sweep resumes with ``--resume`` (completed
+units are never re-simulated); ``--unit-timeout``, ``--max-retries`` and
+``--quarantine`` tune the supervised pool's per-unit wall-clock timeout,
+bounded-retry budget, and whether exhausted units are quarantined into a
+failure report instead of aborting the campaign.
+
 Run with:  python examples/scenario_explorer.py --list
            python examples/scenario_explorer.py --run lte-uplink-zoom --duration 30
            python examples/scenario_explorer.py --sweep --tag beyond-paper \\
-               --duration 30 --workers auto --store .repro-results
+               --duration 30 --workers auto --store .repro-results \\
+               --journal .repro-journal --resume
            python examples/scenario_explorer.py --verify-targets --duration 10 \\
                --store .repro-results --json SCENARIO_MARGINS.json
 """
@@ -37,6 +45,39 @@ def _resolve_store(args):
     from repro.results import ResultStore
 
     return ResultStore(args.store) if args.store else None
+
+
+def _resolve_policy(args):
+    """A CampaignPolicy from the CLI flags, or None for the defaults."""
+    from repro.core.campaign import CampaignPolicy
+
+    overrides = {}
+    if args.unit_timeout is not None:
+        overrides["unit_timeout_s"] = args.unit_timeout
+    if args.max_retries is not None:
+        overrides["max_attempts"] = args.max_retries + 1
+    if args.quarantine:
+        overrides["on_exhausted"] = "quarantine"
+    return CampaignPolicy(**overrides) if overrides else None
+
+
+def _print_campaign(stats, failures) -> None:
+    """One summary line of execution counters, plus any quarantined units."""
+    if stats:
+        print(
+            "campaign: "
+            f"{stats['completed']} run, {stats['cache_hits']} cached, "
+            f"{stats['resumed']} resumed, {stats['retries']} retries, "
+            f"{stats['timeouts']} timeouts, {stats['crashes']} crashes, "
+            f"{stats['quarantined']} quarantined"
+        )
+    if failures:
+        for failure in failures.quarantined:
+            print(
+                f"  QUARANTINED {failure.condition} (rep {failure.repetition}, "
+                f"seed {failure.seed}): {'/'.join(failure.kinds)} after "
+                f"{failure.attempts} attempts -- {failure.last_error}"
+            )
 
 
 def cmd_list(args) -> int:
@@ -102,16 +143,31 @@ def cmd_sweep(args) -> int:
         workers=workers,
         store=store,
         use_cache=not args.no_cache,
+        policy=_resolve_policy(args),
+        journal=args.journal,
+        resume=args.resume,
+        progress=args.progress or None,
     )
     print(table.to_text())
+    _print_campaign(getattr(table, "campaign_stats", None), getattr(table, "failure_report", None))
     if store is not None:
         print(f"store: {store.hits} hits, {store.misses} misses, {store.puts} writes "
               f"({store.root})")
     if args.json:
-        payload = {"columns": table.columns, "rows": table.rows}
+        payload = {
+            "columns": table.columns,
+            "rows": table.rows,
+            "campaign": getattr(table, "campaign_stats", None),
+        }
+        failures = getattr(table, "failure_report", None)
+        if failures:
+            payload["quarantined"] = failures.as_dict()
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+    if getattr(table, "failure_report", None):
+        print("PARTIAL: some units were quarantined (see above)")
+        return 1
     return 0
 
 
@@ -130,6 +186,10 @@ def cmd_verify_targets(args) -> int:
         store=store,
         use_cache=not args.no_cache,
         output_path=args.json,
+        policy=_resolve_policy(args),
+        journal=args.journal,
+        resume=args.resume,
+        progress=args.progress or None,
     )
     print("committed scenario targets "
           f"(duration={args.duration if args.duration is not None else 'spec default'}, "
@@ -138,6 +198,23 @@ def cmd_verify_targets(args) -> int:
         status = "ok  " if row["satisfied"] else "FAIL"
         print(f"  [{status}] {row['name']:34s} value={row['value']:8.4f} "
               f"{row['op']} {row['threshold']:<8g} margin={row['margin']:+.4f}")
+    campaign = report.get("campaign", {})
+    stats = campaign.get("stats")
+    quarantined = campaign.get("quarantined", {}).get("quarantined", [])
+    if stats:
+        print(
+            "campaign: "
+            f"{stats['completed']} run, {stats['cache_hits']} cached, "
+            f"{stats['resumed']} resumed, {stats['retries']} retries, "
+            f"{stats['timeouts']} timeouts, {stats['crashes']} crashes, "
+            f"{stats['quarantined']} quarantined"
+        )
+    for failure in quarantined:
+        print(
+            f"  QUARANTINED {failure['condition']} (rep {failure['repetition']}, "
+            f"seed {failure['seed']}): {'/'.join(failure['kinds'])} after "
+            f"{failure['attempts']} attempts -- {failure['last_error']}"
+        )
     if store is not None:
         print(f"store: {store.hits} hits, {store.misses} misses, {store.puts} writes "
               f"({store.root})")
@@ -184,8 +261,25 @@ def main() -> int:
                         help="content-addressed result store directory (incremental re-runs)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read the store (re-run everything; fresh results still stored)")
+    parser.add_argument("--journal", default=None, metavar="DIR",
+                        help="campaign journal directory (checkpointed per-unit progress)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from --journal (completed units skipped)")
+    parser.add_argument("--unit-timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-unit wall-clock timeout for pooled sweeps "
+                             "(default: 4x the unit's simulated duration)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="retries per unit after a crash/timeout/error (default: 2)")
+    parser.add_argument("--quarantine", action="store_true",
+                        help="quarantine units that exhaust their retries instead of aborting "
+                             "(campaign completes with partial results; exit code 1)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a progress/ETA line while the sweep runs")
     parser.add_argument("--json", default=None, help="also write results to this JSON file")
     args = parser.parse_args()
+
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal DIR")
 
     if args.repetitions is None:
         # --verify-targets defaults to the benchmarks' three-seed aggregation.

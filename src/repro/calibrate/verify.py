@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
 from repro.calibrate.targets import SCENARIO_TARGETS, score_scenario_metrics
-from repro.core.campaign import run_campaign
+from repro.core.campaign import CampaignPolicy, run_campaign
 
 __all__ = ["verify_scenarios", "target_scenario_names", "write_scenario_report"]
 
@@ -66,6 +66,10 @@ def verify_scenarios(
     store: Union[str, Path, None, Any] = None,
     use_cache: bool = True,
     output_path: Union[str, Path, None] = None,
+    policy: Optional[CampaignPolicy] = None,
+    journal: Union[str, Path, None, Any] = None,
+    resume: bool = False,
+    progress: Union[bool, None] = None,
 ) -> dict[str, Any]:
     """Score the committed scenario targets; return the margin report.
 
@@ -73,11 +77,15 @@ def verify_scenarios(
     ``seed + repetitions - 1``), aggregates each metric as the mean over
     repetitions, and scores every :class:`ScenarioTarget`.  ``store`` makes
     the run incremental; ``duration_s=None`` uses each spec's own duration
-    (the full-duration nightly gate).
+    (the full-duration nightly gate).  ``policy``/``journal``/``resume``
+    are the campaign fault-tolerance controls (timeouts, bounded retries,
+    quarantine, checkpointed resume).
 
     The report records per-target values, thresholds and margins plus the
     per-scenario aggregated metrics; ``satisfied`` is ``True`` only when
-    every margin is positive.
+    every margin is positive *and* no unit was quarantined.  The campaign's
+    execution counters (retries, timeouts, crashes, quarantined units) land
+    under ``report["campaign"]`` as provenance for SCENARIO_MARGINS.json.
     """
     # Imported lazily for the same reason as repro.calibrate.sweep: the
     # experiment drivers import the VCA layer, which reads the calibration
@@ -88,9 +96,20 @@ def verify_scenarios(
     conditions = scenario_conditions(
         names, duration_s=duration_s, repetitions=repetitions, seed=seed
     )
-    results = run_campaign(conditions, workers=workers, store=store, use_cache=use_cache)
+    results = run_campaign(
+        conditions,
+        workers=workers,
+        store=store,
+        use_cache=use_cache,
+        policy=policy,
+        journal=journal,
+        resume=resume,
+        progress=progress,
+    )
     metrics_by_scenario: dict[str, dict[str, float]] = {}
     for result in results:
+        if not result.runs:  # every repetition quarantined
+            continue
         keys = sorted({key for run in result.runs for key in run})
         metrics_by_scenario[result.condition.name] = {
             key: result.summary(key).mean for key in keys
@@ -113,11 +132,17 @@ def verify_scenarios(
 
     report = {
         "mode": "verify_scenarios",
-        "satisfied": all(margin > 0.0 for margin in margins.values()),
+        "satisfied": (
+            all(margin > 0.0 for margin in margins.values()) and results.failures.ok
+        ),
         "margins": margins,
         "results": target_rows,
         "metrics_by_scenario": metrics_by_scenario,
         "targets": _targets_payload(),
+        "campaign": {
+            "stats": results.stats.as_dict(),
+            "quarantined": results.failures.as_dict(),
+        },
         "settings": {
             "duration_s": duration_s,
             "repetitions": repetitions,

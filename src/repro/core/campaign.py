@@ -1,11 +1,13 @@
-"""Parallel campaign execution: fan a (condition x repetition) grid over cores.
+"""Fault-tolerant parallel campaigns: fan a (condition x repetition) grid
+over cores under supervision.
 
 The paper's campaigns are embarrassingly parallel: every condition (a VCA, a
 shaping level, a participant count ...) is repeated several times, and each
 repetition is an independent seeded simulation.  :func:`run_campaign` expands
 the grid into one work unit per ``(condition, repetition)``, executes the
-units either serially or on a :class:`multiprocessing` pool, and merges the
-per-unit metrics back into per-condition results.
+units either serially in-process or on a *supervised* worker pool
+(:mod:`repro.core.supervisor`), and merges the per-unit metrics back into
+per-condition results.
 
 Determinism
 -----------
@@ -14,7 +16,8 @@ Repetition ``i`` of a condition always runs with ``condition.seed + i`` --
 the same rule the serial drivers have always used -- and results are keyed
 by ``(condition, repetition)`` rather than completion order, so a parallel
 run merges to *exactly* the same :class:`ConditionResult` list as a serial
-run of the same grid (this is covered by an equivalence test).
+run of the same grid (this is covered by an equivalence test), regardless of
+retries, worker crashes or resume.
 
 Work units must be picklable: ``Condition.fn`` has to be a module-level
 callable (not a lambda or closure) taking ``seed`` plus the condition's
@@ -22,34 +25,79 @@ callable (not a lambda or closure) taking ``seed`` plus the condition's
 name to value.  The experiment drivers expose such per-condition functions
 (e.g. :func:`repro.experiments.static.measure_capacity_point`).
 
-Incremental re-runs
--------------------
+Fault tolerance
+---------------
+
+With ``workers >= 2`` the units run under the supervised pool: per-unit
+wall-clock timeouts (derived from the unit's effective simulated duration
+times :attr:`CampaignPolicy.timeout_multiplier`), bounded retries with
+exponential backoff and deterministic jitter, worker respawn on crash, and
+-- under ``CampaignPolicy(on_exhausted="quarantine")`` -- poison-unit
+quarantine: the campaign completes and the returned
+:class:`CampaignOutcome` carries a structured
+:class:`~repro.core.supervisor.FailureReport` alongside the partial results
+instead of raising.  A ``KeyboardInterrupt`` drains in-flight units and
+flushes completed ones before the pool is torn down (terminate + join on
+every exit path).
+
+Incremental re-runs and resume
+------------------------------
 
 Passing ``store=`` (a :class:`repro.results.ResultStore` or a directory
 path) makes the campaign content-addressed: every work unit hashes to a key
 from its payload -- :attr:`Condition.cache_payload` when set, otherwise the
 function's qualified name plus ``params`` -- the repetition seed, and the
 code-version fingerprint.  Cached units are merged without dispatching;
-only misses execute (serially or on the pool) and are written back.  Fresh
-and cached metrics both pass through the store's canonical-JSON round trip,
-so warm, cold, serial and parallel runs merge byte-identically.
+only misses execute and are written back *as they complete* (incremental
+checkpointing).  Fresh and cached metrics both pass through the store's
+canonical-JSON round trip, so warm, cold, serial and parallel runs merge
+byte-identically.
+
+Passing ``journal=`` (a :class:`repro.core.journal.CampaignJournal` or a
+directory path) additionally logs every dispatch, completion, failure and
+quarantine; ``resume=True`` replays a matching journal and re-simulates
+only the units it does not record as completed -- the recovery path for a
+sweep killed mid-run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence, Union
 
 from repro.core.analysis import RunSummary, aggregate_runs
+from repro.core.journal import CampaignJournal, resolve_journal
+from repro.core.supervisor import (
+    CampaignPolicy,
+    CampaignStats,
+    CampaignUnitError,
+    FailureReport,
+    UnitCallbacks,
+    WorkUnit,
+    execute_serial,
+    execute_supervised,
+)
 
-if TYPE_CHECKING:  # the core layer only needs the name for annotations
+if TYPE_CHECKING:  # the core layer only needs the names for annotations
+    from repro.core.chaos import ChaosConfig
     from repro.results.store import ResultStore
 
-__all__ = ["Condition", "ConditionResult", "run_campaign", "default_workers"]
+__all__ = [
+    "Condition",
+    "ConditionResult",
+    "CampaignOutcome",
+    "CampaignPolicy",
+    "CampaignStats",
+    "CampaignUnitError",
+    "FailureReport",
+    "run_campaign",
+    "default_workers",
+]
 
 
 @dataclass(frozen=True)
@@ -106,19 +154,34 @@ class ConditionResult:
         return aggregate_runs(self.metric_values(name), confidence)
 
 
+class CampaignOutcome(list):
+    """The merged campaign: a ``list[ConditionResult]`` plus run metadata.
+
+    Behaves exactly like the plain list :func:`run_campaign` used to return
+    (iteration, indexing, equality), with three extra attributes:
+
+    * ``stats`` -- the :class:`~repro.core.supervisor.CampaignStats`
+      execution counters (dispatches, cache hits, resumed units, retries,
+      timeouts, crashes, quarantines),
+    * ``failures`` -- the :class:`~repro.core.supervisor.FailureReport` of
+      quarantined units (empty under ``on_exhausted="raise"``),
+    * ``ok`` -- ``True`` when nothing was quarantined.
+    """
+
+    stats: CampaignStats
+    failures: FailureReport
+
+    @property
+    def ok(self) -> bool:
+        return self.failures.ok
+
+
 def default_workers() -> int:
     """Worker count used when ``workers`` is passed as ``"auto"``."""
     try:
         return max(len(os.sched_getaffinity(0)), 1)
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
-
-
-def _execute_unit(
-    unit: tuple[int, int, Callable[..., Mapping[str, float]], dict[str, Any], int]
-) -> tuple[int, int, Mapping[str, float]]:
-    index, repetition, fn, params, seed = unit
-    return index, repetition, fn(seed=seed, **params)
 
 
 def _unit_key(condition: Condition, seed: int, fingerprint: str) -> Optional[str]:
@@ -144,13 +207,90 @@ def _unit_key(condition: Condition, seed: int, fingerprint: str) -> Optional[str
         return None
 
 
+def _effective_duration(condition: Condition) -> Optional[float]:
+    """The unit's simulated duration, for deriving its wall-clock budget."""
+    duration = condition.params.get("duration_s")
+    if duration is None and isinstance(condition.cache_payload, dict):
+        duration = condition.cache_payload.get("duration_s")
+    try:
+        return float(duration) if duration is not None else None
+    except (TypeError, ValueError):
+        return None
+
+
+def _campaign_id(descriptors: list[dict[str, Any]]) -> str:
+    """Identity of one campaign grid, for journal resume validation."""
+    from repro.results.fingerprint import payload_hash
+
+    return payload_hash(descriptors)
+
+
+class _ProgressReporter:
+    """Progress/ETA line for long campaigns.
+
+    ``sink=True`` renders a carriage-return line on stderr (throttled);
+    a callable sink receives a snapshot dict after every accounted unit --
+    which is also the injection point the interrupt tests use.
+    """
+
+    def __init__(self, sink, stats: CampaignStats, min_interval_s: float = 0.5) -> None:
+        self._sink = sink
+        self._stats = stats
+        self._min_interval_s = min_interval_s
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._rendered = False
+
+    def unit_done(self) -> None:
+        stats = self._stats
+        if callable(self._sink):
+            self._sink(
+                {
+                    "done": stats.done,
+                    "total": stats.units,
+                    "stats": stats,
+                }
+            )
+            return
+        now = time.monotonic()
+        if stats.done < stats.units and now - self._last_render < self._min_interval_s:
+            return
+        self._last_render = now
+        executed = stats.completed
+        remaining = stats.units - stats.done
+        if executed > 0 and remaining > 0:
+            rate = (now - self._started) / executed
+            eta = f"{rate * remaining:5.0f}s"
+        else:
+            eta = "    -"
+        line = (
+            f"\r[campaign] {stats.done}/{stats.units} units "
+            f"({stats.cache_hits} cached, {stats.resumed} resumed) "
+            f"retries={stats.retries} timeouts={stats.timeouts} "
+            f"quarantined={stats.quarantined} eta {eta}"
+        )
+        sys.stderr.write(line)
+        sys.stderr.flush()
+        self._rendered = True
+
+    def close(self) -> None:
+        if self._rendered:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
 def run_campaign(
     conditions: Sequence[Condition],
     workers: Optional[int | str] = None,
     mp_context: Optional[str] = None,
     store: Union["ResultStore", str, Path, None] = None,
     use_cache: bool = True,
-) -> list[ConditionResult]:
+    policy: Optional[CampaignPolicy] = None,
+    journal: Union[CampaignJournal, str, Path, None] = None,
+    resume: bool = False,
+    progress: Union[bool, Callable[[dict[str, Any]], None], None] = None,
+    chaos: Optional["ChaosConfig"] = None,
+) -> CampaignOutcome:
     """Execute every repetition of every condition and merge the results.
 
     Parameters
@@ -159,8 +299,8 @@ def run_campaign(
         The campaign grid.
     workers:
         ``None``, ``0`` or ``1`` runs serially in-process; an integer > 1
-        fans the units out over that many worker processes; ``"auto"`` uses
-        one worker per available core.
+        fans the units out over that many supervised worker processes;
+        ``"auto"`` uses one worker per available core.
     mp_context:
         Multiprocessing start method for the pool.  Defaults to ``fork``
         where available (cheap worker start-up on Linux) and ``spawn``
@@ -169,26 +309,56 @@ def run_campaign(
     store:
         A :class:`repro.results.ResultStore` (or a directory path) consulted
         before dispatch; hits are merged without executing, misses execute
-        and are written back.  ``None`` (the default) disables caching.
+        and are written back as they complete.  ``None`` (the default)
+        disables caching.
     use_cache:
         With ``False`` the store is not *read* -- every unit re-executes --
         but fresh results are still written back, refreshing the store (the
         ``--no-cache`` escape hatch).
+    policy:
+        The :class:`CampaignPolicy` governing timeouts, retries, backoff and
+        quarantine.  ``None`` uses the defaults (3 attempts, raise on
+        exhaustion, duration-derived timeouts).
+    journal:
+        A :class:`~repro.core.journal.CampaignJournal` (or directory path)
+        recording per-unit status/attempt events for crash recovery.
+    resume:
+        With a journal: replay it and merge previously completed units
+        without dispatching them (``stats.resumed``); the journal must have
+        been written by this same campaign grid.
+    progress:
+        ``True`` renders a progress/ETA line on stderr; a callable receives
+        a snapshot dict after every accounted unit.
+    chaos:
+        A :class:`~repro.core.chaos.ChaosConfig` fault plan (testing only).
+        Kill/hang faults require ``workers >= 2``.
 
     Returns
     -------
-    One :class:`ConditionResult` per condition, in input order, with
-    repetitions in repetition order -- identical regardless of worker count
-    and of which units came from the store.
+    A :class:`CampaignOutcome` -- one :class:`ConditionResult` per condition,
+    in input order, with repetitions in repetition order (identical
+    regardless of worker count, retries and of which units came from the
+    store or journal) -- carrying the run's ``stats`` and ``failures``.
     """
     if workers == "auto":
         workers = default_workers()
+    if policy is None:
+        policy = CampaignPolicy()
+    serial = workers is None or int(workers) <= 1
+    if chaos is not None and serial and chaos.needs_pool():
+        raise ValueError(
+            "chaos worker-kill/hang faults require the supervised pool; "
+            "pass workers >= 2 or restrict the plan to raise faults"
+        )
+
     merged: dict[int, dict[int, Mapping[str, float]]] = {
         index: {} for index in range(len(conditions))
     }
+    stats = CampaignStats(units=sum(c.repetitions for c in conditions))
+    failures = FailureReport()
 
     result_store = None
-    unit_keys: dict[tuple[int, int], Optional[str]] = {}
+    fingerprint = None
     if store is not None:
         from repro.results.fingerprint import code_fingerprint
         from repro.results.store import resolve_store
@@ -196,56 +366,156 @@ def run_campaign(
         result_store = resolve_store(store)
         fingerprint = code_fingerprint()
 
-    units = []
+    # Expand the grid into work units with stable uids and wall-clock budgets.
+    units: list[WorkUnit] = []
+    descriptors: list[dict[str, Any]] = []
     for index, condition in enumerate(conditions):
+        timeout_s = policy.timeout_for(_effective_duration(condition))
+        fn_name = (
+            f"{getattr(condition.fn, '__module__', '?')}."
+            f"{getattr(condition.fn, '__qualname__', repr(condition.fn))}"
+        )
         for repetition in range(condition.repetitions):
             seed = condition.seed_for(repetition)
-            key: Optional[str] = None
-            if result_store is not None:
-                key = _unit_key(condition, seed, fingerprint)
-                unit_keys[(index, repetition)] = key
-                if key is not None and use_cache:
-                    cached = result_store.get(key)
-                    if cached is not None:
-                        merged[index][repetition] = cached
-                        continue
-            units.append((index, repetition, condition.fn, condition.params, seed))
+            key = _unit_key(condition, seed, fingerprint) if result_store is not None else None
+            uid = f"{index}:{condition.name}#r{repetition}"
+            descriptors.append(
+                {"uid": uid, "seed": seed, "key": key, "fn": fn_name,
+                 "params": repr(sorted(condition.params.items()))}
+            )
+            units.append(
+                WorkUnit(
+                    uid=uid,
+                    index=index,
+                    repetition=repetition,
+                    name=condition.name,
+                    fn=condition.fn,
+                    params=condition.params,
+                    seed=seed,
+                    timeout_s=timeout_s,
+                    key=key,
+                )
+            )
 
-    def _record(index: int, repetition: int, metrics: Mapping[str, float]) -> None:
-        if result_store is not None:
-            key = unit_keys.get((index, repetition))
-            if key is not None:
-                try:
-                    metrics = result_store.put(
-                        key,
-                        metrics,
-                        meta={
-                            "condition": conditions[index].name,
-                            "repetition": repetition,
-                            "seed": conditions[index].seed_for(repetition),
-                        },
+    journal_obj = resolve_journal(journal)
+    completed_before: dict[str, Any] = {}
+    if journal_obj is not None:
+        completed_before = journal_obj.start(
+            _campaign_id(descriptors),
+            total_units=len(units),
+            resume=resume,
+            meta={"conditions": len(conditions), "workers": workers if serial else int(workers)},
+        )
+
+    progress_reporter = _ProgressReporter(progress, stats) if progress else None
+
+    def _accounted() -> None:
+        if progress_reporter is not None:
+            progress_reporter.unit_done()
+
+    # Merge journal-resumed and store-cached units without dispatching.
+    pending: list[WorkUnit] = []
+    for unit in units:
+        if unit.uid in completed_before:
+            merged[unit.index][unit.repetition] = completed_before[unit.uid]
+            stats.resumed += 1
+            _accounted()
+            continue
+        if result_store is not None and unit.key is not None and use_cache:
+            cached = result_store.get(unit.key)
+            if cached is not None:
+                merged[unit.index][unit.repetition] = cached
+                stats.cache_hits += 1
+                if journal_obj is not None:
+                    journal_obj.record_ok(unit.uid, 0, cached, source="cache")
+                _accounted()
+                continue
+        pending.append(unit)
+
+    def on_dispatch(unit: WorkUnit) -> None:
+        if journal_obj is not None:
+            journal_obj.record_dispatch(unit.uid, unit.attempts - 1)
+
+    def on_complete(unit: WorkUnit, metrics: Mapping[str, Any]) -> None:
+        stats.completed += 1
+        if result_store is not None and unit.key is not None:
+            try:
+                metrics = result_store.put(
+                    unit.key,
+                    metrics,
+                    meta={
+                        "condition": unit.name,
+                        "repetition": unit.repetition,
+                        "seed": unit.seed,
+                        "attempts": unit.attempts,
+                    },
+                )
+            except (TypeError, OSError):
+                # Non-JSON metrics or an unwritable/full store directory:
+                # the result is usable this run, it just is not cached.
+                pass
+        merged[unit.index][unit.repetition] = metrics
+        if journal_obj is not None:
+            journal_obj.record_ok(unit.uid, unit.attempts - 1, metrics)
+        _accounted()
+
+    def on_attempt_failed(unit: WorkUnit, kind: str, error: str) -> None:
+        if journal_obj is not None:
+            journal_obj.record_failure(unit.uid, unit.attempts - 1, kind, error)
+        if (
+            chaos is not None
+            and result_store is not None
+            and unit.key is not None
+            and chaos.should_corrupt_store(unit.uid, unit.attempts - 1)
+        ):
+            from repro.core.chaos import corrupt_store_entry
+
+            corrupt_store_entry(result_store, unit.key)
+
+    def on_quarantined(unit: WorkUnit) -> None:
+        failures.quarantined.append(unit.failure())
+        if journal_obj is not None:
+            journal_obj.record_quarantined(unit.uid, unit.attempts, list(unit.failure_kinds))
+        _accounted()
+
+    callbacks = UnitCallbacks(
+        on_dispatch=on_dispatch,
+        on_complete=on_complete,
+        on_attempt_failed=on_attempt_failed,
+        on_quarantined=on_quarantined,
+    )
+
+    try:
+        if pending:
+            if serial:
+                execute_serial(pending, policy, chaos, stats, callbacks)
+            else:
+                if mp_context is None:
+                    mp_context = (
+                        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
                     )
-                except (TypeError, OSError):
-                    # Non-JSON metrics or an unwritable/full store directory:
-                    # the result is usable this run, it just is not cached.
-                    pass
-        merged[index][repetition] = metrics
+                context = multiprocessing.get_context(mp_context)
+                execute_supervised(
+                    pending, int(workers), context, policy, chaos, stats, callbacks
+                )
+    except KeyboardInterrupt:
+        stats.interrupted = True
+        if journal_obj is not None:
+            journal_obj.record_interrupted()
+        raise
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+        if progress_reporter is not None:
+            progress_reporter.close()
 
-    if workers is None or workers <= 1:
-        for unit in units:
-            index, repetition, metrics = _execute_unit(unit)
-            _record(index, repetition, metrics)
-    elif units:
-        if mp_context is None:
-            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        context = multiprocessing.get_context(mp_context)
-        with ProcessPoolExecutor(max_workers=int(workers), mp_context=context) as pool:
-            for index, repetition, metrics in pool.map(_execute_unit, units, chunksize=1):
-                _record(index, repetition, metrics)
-    return [
+    outcome = CampaignOutcome(
         ConditionResult(
             condition=condition,
             runs=[merged[index][rep] for rep in sorted(merged[index])],
         )
         for index, condition in enumerate(conditions)
-    ]
+    )
+    outcome.stats = stats
+    outcome.failures = failures
+    return outcome

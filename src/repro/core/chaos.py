@@ -1,0 +1,133 @@
+"""Deterministic chaos harness for the supervised campaign executor.
+
+Fault-tolerant code is only trustworthy when the faults are reproducible.
+:class:`ChaosConfig` is a seeded, picklable fault plan: for every
+``(unit, attempt)`` pair it deterministically decides -- via a SHA-256 draw,
+never a stateful RNG -- whether the attempt is killed mid-unit
+(``os._exit``), hung past its wall-clock deadline, or blown up with a
+:class:`ChaosError` raised inside the unit function.  Because the decision
+is keyed on the *attempt number* and capped by ``max_faults_per_unit``,
+every unit is guaranteed a clean attempt once the injector has spent its
+fault budget; with ``max_attempts > max_faults_per_unit`` a chaos-ridden
+campaign therefore completes with metrics byte-identical to a fault-free
+run -- which is exactly what the equivalence suite asserts.
+
+A fourth channel corrupts result-store entries *between* attempts
+(supervisor-side, after a failed attempt), exercising the store's
+discard-on-read validation under concurrent fault recovery.
+
+Worker kills and hangs require the supervised pool (``workers >= 2``): in a
+serial in-process campaign they would take the campaign itself down, so
+:func:`repro.core.campaign.run_campaign` rejects that combination up front.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.supervisor import stable_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.results.store import ResultStore
+
+__all__ = ["ChaosConfig", "ChaosError", "corrupt_store_entry"]
+
+#: Exit code of chaos-killed workers (mirrors a SIGKILLed process's 128+9).
+CHAOS_EXIT_CODE = 137
+
+
+class ChaosError(RuntimeError):
+    """The fault the injector raises inside a unit function."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault plan injected into campaign workers.
+
+    ``kill_prob``/``hang_prob``/``raise_prob`` partition the unit interval:
+    one draw per ``(unit, attempt)`` picks at most one fault.  Attempts
+    numbered ``>= max_faults_per_unit`` are always clean, guaranteeing
+    termination of retried units.  ``hang_s`` must exceed the campaign's
+    unit timeout for hang faults to actually exercise the kill path; a hang
+    that outlives its sleep raises :class:`ChaosError` so an undersized
+    timeout shows up as a loud failure instead of a silent pass.
+    """
+
+    seed: int = 0
+    kill_prob: float = 0.0
+    hang_prob: float = 0.0
+    raise_prob: float = 0.0
+    corrupt_store_prob: float = 0.0
+    hang_s: float = 30.0
+    max_faults_per_unit: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("kill_prob", "hang_prob", "raise_prob", "corrupt_store_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.kill_prob + self.hang_prob + self.raise_prob > 1.0 + 1e-9:
+            raise ValueError("kill_prob + hang_prob + raise_prob must not exceed 1")
+        if self.max_faults_per_unit < 0:
+            raise ValueError("max_faults_per_unit must be >= 0")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be positive")
+
+    def needs_pool(self) -> bool:
+        """Whether this plan can only run under the supervised pool."""
+        return self.kill_prob > 0.0 or self.hang_prob > 0.0
+
+    # ------------------------------------------------------------- planning
+    def plan(self, uid: str, attempt: int) -> Optional[str]:
+        """The fault for one ``(unit, attempt)``: kill / hang / raise / None."""
+        if attempt >= self.max_faults_per_unit:
+            return None
+        draw = stable_fraction("chaos", self.seed, uid, attempt)
+        edge = self.kill_prob
+        if draw < edge:
+            return "kill"
+        edge += self.hang_prob
+        if draw < edge:
+            return "hang"
+        edge += self.raise_prob
+        if draw < edge:
+            return "raise"
+        return None
+
+    def should_corrupt_store(self, uid: str, attempt: int) -> bool:
+        """Whether to corrupt the unit's store entry after this failure."""
+        return (
+            self.corrupt_store_prob > 0.0
+            and stable_fraction("chaos-store", self.seed, uid, attempt) < self.corrupt_store_prob
+        )
+
+    # ------------------------------------------------------------ execution
+    def execute_fault(self, uid: str, attempt: int) -> None:
+        """Run the planned fault for this attempt (called in the worker)."""
+        fault = self.plan(uid, attempt)
+        if fault is None:
+            return
+        if fault == "kill":
+            os._exit(CHAOS_EXIT_CODE)
+        if fault == "hang":
+            time.sleep(self.hang_s)
+            raise ChaosError(
+                f"injected hang of {self.hang_s}s on {uid} attempt {attempt} outlived "
+                "the unit timeout -- the supervisor should have killed this worker"
+            )
+        raise ChaosError(f"injected failure on {uid} attempt {attempt}")
+
+
+def corrupt_store_entry(store: "ResultStore", key: str) -> None:
+    """Overwrite one store entry with a torn (truncated) JSON write.
+
+    Mimics a writer killed mid-write without the atomic-rename protection:
+    a syntactically broken prefix of a real entry.  The store's read-path
+    validation must discard it and fall back to re-execution.
+    """
+    path = store.object_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text('{"schema": 1, "key": "%s", "metrics": {"tru' % key, encoding="utf-8")

@@ -1,0 +1,231 @@
+"""Campaign journal: a crash-safe run manifest + per-unit attempt log.
+
+The content-addressed result store already makes *metrics* durable; the
+journal makes the *campaign* durable.  One journal is a directory::
+
+    <root>/
+      manifest.json   campaign identity (unit-descriptor hash), size, settings
+      units.jsonl     append-only event log, one JSON object per line
+
+Events record every dispatch, completion, failure and quarantine with the
+attempt number, so an interrupted (or SIGKILLed) sweep can be resumed:
+``run_campaign(..., journal=dir, resume=True)`` replays the log, merges
+every completed unit's recorded metrics without dispatching it, and
+re-simulates only the incomplete remainder.
+
+Crash safety
+------------
+
+The manifest is written atomically (fsynced temp file + rename).  Events are
+appended line-by-line and flushed immediately; completions are additionally
+fsynced before the campaign moves on, so a SIGKILL can lose at most the
+in-flight tail.  A torn final line (a write cut short by the kill) fails to
+parse and is skipped on replay -- counted, never trusted.
+
+Resume safety
+-------------
+
+The manifest records a campaign id hashed from every unit's descriptor
+(condition name, repetition, seed, store key -- the key embeds the
+code-version fingerprint when a store is attached).  Resuming against a
+journal whose id does not match raises :class:`JournalMismatchError` instead
+of silently merging stale results from a different (or edited) campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+__all__ = ["CampaignJournal", "JournalMismatchError", "resolve_journal"]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JournalMismatchError(ValueError):
+    """``resume=True`` against a journal written by a different campaign."""
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class CampaignJournal:
+    """Manifest + JSONL event log of one campaign run."""
+
+    MANIFEST_NAME = "manifest.json"
+    EVENTS_NAME = "units.jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._handle = None
+        #: Unparsable event lines skipped during the last replay (a torn
+        #: tail from a killed process shows up here).
+        self.torn_lines = 0
+
+    # ------------------------------------------------------------- layout
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST_NAME
+
+    @property
+    def events_path(self) -> Path:
+        return self.root / self.EVENTS_NAME
+
+    def exists(self) -> bool:
+        return self.manifest_path.is_file()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(
+        self,
+        campaign_id: str,
+        total_units: int,
+        resume: bool = False,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> dict[str, Any]:
+        """Open the journal; returns ``{uid: metrics}`` completed earlier.
+
+        With ``resume=True`` and an existing manifest, the manifest must
+        match ``campaign_id`` (else :class:`JournalMismatchError`) and the
+        event log is replayed into the returned completed-unit mapping.
+        Otherwise a fresh manifest is written and the event log truncated.
+        ``resume=True`` without an existing manifest simply starts fresh,
+        so ``--resume`` is safe on the first invocation too.
+        """
+        completed: dict[str, Any] = {}
+        if resume and self.exists():
+            try:
+                manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise JournalMismatchError(
+                    f"journal manifest at {self.manifest_path} is unreadable: {exc}"
+                ) from exc
+            if (
+                manifest.get("schema") != JOURNAL_SCHEMA_VERSION
+                or manifest.get("campaign") != campaign_id
+            ):
+                raise JournalMismatchError(
+                    f"journal at {self.root} was written by a different campaign "
+                    f"(recorded {manifest.get('campaign')!r}, expected {campaign_id!r}); "
+                    "point --journal at a fresh directory or drop --resume"
+                )
+            completed = self.replay_completed()
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            # Truncate the events first: a crash between the two writes must
+            # never pair a fresh manifest with a stale event log.
+            self.events_path.write_text("", encoding="utf-8")
+            _atomic_write(
+                self.manifest_path,
+                json.dumps(
+                    {
+                        "schema": JOURNAL_SCHEMA_VERSION,
+                        "campaign": campaign_id,
+                        "units": int(total_units),
+                        "meta": dict(meta) if meta else {},
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+            )
+        self._handle = open(self.events_path, "a", encoding="utf-8")
+        return completed
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):  # pragma: no cover - closed/ro fs
+                pass
+            self._handle.close()
+            self._handle = None
+
+    # -------------------------------------------------------------- replay
+    def replay_completed(self) -> dict[str, Any]:
+        """``{uid: metrics}`` of every unit the log records as completed."""
+        completed: dict[str, Any] = {}
+        self.torn_lines = 0
+        try:
+            lines = self.events_path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError):
+            return completed
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                self.torn_lines += 1  # torn tail from a killed writer
+                continue
+            if not isinstance(event, dict):
+                self.torn_lines += 1
+                continue
+            if event.get("event") == "ok" and isinstance(event.get("metrics"), dict):
+                completed[event["unit"]] = event["metrics"]
+        return completed
+
+    # -------------------------------------------------------------- events
+    def _record(self, event: Mapping[str, Any], durable: bool = False) -> None:
+        if self._handle is None:
+            return
+        try:
+            line = json.dumps(event, sort_keys=True)
+        except TypeError:
+            # Non-JSON payload: record the fact without the metrics so the
+            # unit is treated as incomplete on resume (same contract as the
+            # result store's uncacheable units).
+            stripped = {k: v for k, v in event.items() if k != "metrics"}
+            stripped["metrics_omitted"] = True
+            line = json.dumps(stripped, sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if durable:
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+
+    def record_dispatch(self, uid: str, attempt: int) -> None:
+        self._record({"event": "dispatch", "unit": uid, "attempt": attempt})
+
+    def record_ok(
+        self, uid: str, attempt: int, metrics: Mapping[str, Any], source: str = "run"
+    ) -> None:
+        self._record(
+            {"event": "ok", "unit": uid, "attempt": attempt, "source": source,
+             "metrics": dict(metrics)},
+            durable=True,
+        )
+
+    def record_failure(self, uid: str, attempt: int, kind: str, error: str) -> None:
+        self._record({"event": kind, "unit": uid, "attempt": attempt, "error": error})
+
+    def record_quarantined(self, uid: str, attempts: int, kinds: list[str]) -> None:
+        self._record(
+            {"event": "quarantined", "unit": uid, "attempts": attempts, "kinds": kinds},
+            durable=True,
+        )
+
+    def record_interrupted(self) -> None:
+        self._record({"event": "interrupted"}, durable=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CampaignJournal({str(self.root)!r})"
+
+
+def resolve_journal(
+    journal: Union["CampaignJournal", str, Path, None]
+) -> Optional[CampaignJournal]:
+    """Accept a :class:`CampaignJournal`, a directory path, or ``None``."""
+    if journal is None or isinstance(journal, CampaignJournal):
+        return journal
+    return CampaignJournal(journal)

@@ -47,6 +47,11 @@ class ExperimentSpec:
         """Whether the driver can consult a content-addressed result store."""
         return self._has_parameter("store")
 
+    @property
+    def supports_fault_tolerance(self) -> bool:
+        """Whether the driver forwards policy/journal/resume to the campaign."""
+        return self._has_parameter("policy")
+
     def _has_parameter(self, name: str) -> bool:
         try:
             return name in inspect.signature(self.driver).parameters
@@ -205,16 +210,22 @@ def run_experiment(
     experiment_id: str,
     workers: Optional[int | str] = None,
     store: Optional[Any] = None,
+    policy: Optional[Any] = None,
+    journal: Optional[Any] = None,
+    resume: bool = False,
     **kwargs: Any,
 ):
-    """Run one experiment by id, optionally over a process pool.
+    """Run one experiment by id, optionally over a supervised process pool.
 
     ``workers`` is forwarded to drivers whose grids support the parallel
     campaign runner (:attr:`ExperimentSpec.supports_workers`) and ``store``
     (a result-store directory or :class:`repro.results.ResultStore`) to
-    drivers that can re-score unchanged grid cells from cache; for the
-    remaining drivers a non-``None`` value raises so a typo'd campaign
-    doesn't silently run serially / uncached.
+    drivers that can re-score unchanged grid cells from cache; ``policy``
+    (a :class:`repro.core.campaign.CampaignPolicy`), ``journal`` and
+    ``resume`` reach drivers that expose the campaign's fault-tolerance
+    controls (:attr:`ExperimentSpec.supports_fault_tolerance`).  For the
+    remaining drivers a non-default value raises so a typo'd campaign
+    doesn't silently run serially / uncached / unsupervised.
     """
     spec = get_experiment(experiment_id)
     if workers is not None:
@@ -229,4 +240,16 @@ def run_experiment(
                 f"experiment {experiment_id!r} does not support a result store"
             )
         kwargs["store"] = store
+    if policy is not None or journal is not None or resume:
+        if not spec.supports_fault_tolerance:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not support campaign "
+                "fault-tolerance controls (policy/journal/resume)"
+            )
+        if policy is not None:
+            kwargs["policy"] = policy
+        if journal is not None:
+            kwargs["journal"] = journal
+        if resume:
+            kwargs["resume"] = resume
     return spec.driver(**kwargs)

@@ -22,9 +22,10 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 if TYPE_CHECKING:
+    from repro.core.journal import CampaignJournal
     from repro.results.store import ResultStore
 
-from repro.core.campaign import Condition, run_campaign
+from repro.core.campaign import CampaignPolicy, Condition, run_campaign
 from repro.core.results import TableResult
 from repro.netem.scenarios import (
     ScenarioSpec,
@@ -124,13 +125,25 @@ def run_scenario_sweep(
     workers: Optional[int | str] = None,
     store: Union["ResultStore", str, Path, None] = None,
     use_cache: bool = True,
+    policy: Optional[CampaignPolicy] = None,
+    journal: Union["CampaignJournal", str, Path, None] = None,
+    resume: bool = False,
+    progress: Union[bool, None] = None,
 ) -> TableResult:
     """Run every selected scenario ``repetitions`` times and tabulate.
 
     ``scenarios`` selects by name; ``tag`` selects a whole pack
     (``"paper-baseline"`` / ``"beyond-paper"``); with neither, the full
     registry runs.  Repetition ``i`` of a scenario uses ``seed + i``.
-    ``store``/``use_cache`` make the sweep incremental (see module docs).
+    ``store``/``use_cache`` make the sweep incremental (see module docs);
+    ``policy``/``journal``/``resume``/``progress`` are the fault-tolerance
+    controls of :func:`repro.core.campaign.run_campaign` (timeouts, retries,
+    quarantine, checkpointed resume, progress/ETA).
+
+    The returned table carries the campaign's execution counters as
+    ``table.campaign_stats`` (a dict) and any quarantined units as
+    ``table.failure_report``; quarantined scenarios with no surviving
+    repetitions are omitted from the rows rather than reported as zeros.
     """
     if scenarios is not None:
         names = [get_scenario(name).name for name in scenarios]
@@ -141,15 +154,28 @@ def run_scenario_sweep(
     conditions = scenario_conditions(
         names, duration_s=duration_s, repetitions=repetitions, seed=seed
     )
-    results = run_campaign(conditions, workers=workers, store=store, use_cache=use_cache)
+    results = run_campaign(
+        conditions,
+        workers=workers,
+        store=store,
+        use_cache=use_cache,
+        policy=policy,
+        journal=journal,
+        resume=resume,
+        progress=progress,
+    )
     table = TableResult(
         table_id="scenario_sweep",
         title="Scenario library sweep (netem)",
         columns=("scenario", *SWEEP_METRICS),
     )
     for result in results:
+        if not result.runs:  # every repetition quarantined
+            continue
         table.add_row(
             result.condition.name,
             *(result.summary(metric).mean for metric in SWEEP_METRICS),
         )
+    table.campaign_stats = results.stats.as_dict()
+    table.failure_report = results.failures
     return table

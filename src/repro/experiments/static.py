@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.analysis import aggregate_runs
-from repro.core.campaign import Condition, run_campaign
+from repro.core.campaign import CampaignPolicy, Condition, run_campaign
 from repro.core.profiles import STATIC_SHAPING_LEVELS_MBPS, static_profile
 from repro.core.results import FigureSeries, TableResult
 from repro.experiments.common import run_two_party_call
@@ -111,14 +111,19 @@ def run_capacity_sweep(
     seed: int = 0,
     workers: Optional[int | str] = None,
     store: Union[str, Path, None, object] = None,
+    policy: Optional[CampaignPolicy] = None,
+    journal: Union[str, Path, None, object] = None,
+    resume: bool = False,
 ) -> dict[str, FigureSeries]:
     """Figure 1a/1b: median bitrate vs shaped capacity, one series per VCA.
 
-    ``workers`` fans the (level x vca x repetition) grid out over processes
-    via :func:`repro.core.campaign.run_campaign`; the default (serial)
-    produces identical numbers.  ``store`` (a
+    ``workers`` fans the (level x vca x repetition) grid out over the
+    supervised campaign pool of :func:`repro.core.campaign.run_campaign`;
+    the default (serial) produces identical numbers.  ``store`` (a
     :class:`repro.results.ResultStore` or directory path) makes the sweep
-    incremental: unchanged grid cells re-score from cache.
+    incremental: unchanged grid cells re-score from cache.  ``policy``
+    tunes timeouts/retries/quarantine and ``journal``/``resume`` checkpoint
+    the sweep for crash recovery.
     """
     figure_id = "fig1a" if direction == "up" else "fig1b"
     series: dict[str, FigureSeries] = {
@@ -147,7 +152,9 @@ def run_capacity_sweep(
         for level in levels
         for vca in vcas
     ]
-    results = run_campaign(conditions, workers=workers, store=store)
+    results = run_campaign(
+        conditions, workers=workers, store=store, policy=policy, journal=journal, resume=resume
+    )
     for condition_result, (level, vca) in zip(
         results, ((level, vca) for level in levels for vca in vcas)
     ):
@@ -165,6 +172,9 @@ def run_platform_comparison(
     seed: int = 0,
     workers: Optional[int | str] = None,
     store: Union[str, Path, None, object] = None,
+    policy: Optional[CampaignPolicy] = None,
+    journal: Union[str, Path, None, object] = None,
+    resume: bool = False,
 ) -> dict[str, FigureSeries]:
     """Figure 1c: native vs Chrome clients under uplink shaping."""
     result = run_capacity_sweep(
@@ -176,6 +186,9 @@ def run_platform_comparison(
         seed=seed,
         workers=workers,
         store=store,
+        policy=policy,
+        journal=journal,
+        resume=resume,
     )
     for series in result.values():
         series.figure_id = "fig1c"

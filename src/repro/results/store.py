@@ -55,8 +55,12 @@ class ResultStore:
         self.discarded = 0
 
     # ------------------------------------------------------------- layout
-    def _object_path(self, key: str) -> Path:
+    def object_path(self, key: str) -> Path:
+        """On-disk path of one entry (the chaos harness corrupts these)."""
         return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # Backwards-compatible alias (pre-dates the public accessor).
+    _object_path = object_path
 
     def reset_counters(self) -> None:
         self.hits = self.misses = self.puts = self.discarded = 0
@@ -75,7 +79,7 @@ class ResultStore:
         filename, a non-mapping metrics payload -- is deleted and treated
         as a miss, so a corrupted store degrades to re-execution.
         """
-        path = self._object_path(key)
+        path = self.object_path(key)
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
@@ -118,11 +122,27 @@ class ResultStore:
             "metrics": normalized,
             "meta": dict(meta) if meta else {},
         }
-        path = self._object_path(key)
+        path = self.object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        # Torn-write safety: flush + fsync the temp file *before* the atomic
+        # rename, so a crash (or SIGKILL) can never publish a half-written
+        # entry under the final name -- the worst case is a stale ``.tmp``
+        # file, which lookups never read and which cannot shadow a later
+        # good write.  The directory fsync persists the rename itself.
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - fs without directory fsync
+            pass
         self.puts += 1
         return normalized
 

@@ -1,0 +1,208 @@
+"""The deterministic chaos harness and its equivalence guarantees.
+
+The central claim: because chaos faults are drawn from a seeded hash keyed
+on ``(unit, attempt)`` and capped by ``max_faults_per_unit``, a campaign
+running under injected kills / hangs / raises / store corruption completes
+with merged metrics *byte-identical* to a fault-free run -- fault recovery
+is invisible in the results and visible only in the counters.
+
+The synthetic suites prove it on cheap picklable units (and predict the
+exact fault counts from the plan); the real-scenario suite proves it on
+actual simulations at ``REPRO_CHAOS_DURATION`` seconds (default 3, the CI
+chaos-smoke setting).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import _campaign_workers as workers_mod
+from repro.core.campaign import CampaignPolicy, Condition, run_campaign
+from repro.core.chaos import ChaosConfig, ChaosError, corrupt_store_entry
+from repro.results import ResultStore, result_key
+from repro.results.fingerprint import canonical_json
+
+#: Duration of the real-scenario chaos equivalence runs (CI sets this low).
+CHAOS_DURATION_S = float(os.environ.get("REPRO_CHAOS_DURATION", "3"))
+
+#: Retry budget strictly above the fault budget: every unit is guaranteed a
+#: clean attempt, which is what makes chaos runs equivalent to clean runs.
+CHAOS_POLICY = CampaignPolicy(backoff_base_s=0.0, max_attempts=3)
+
+
+def encode(results) -> bytes:
+    return canonical_json([[dict(run) for run in r.runs] for r in results]).encode()
+
+
+def predicted_faults(config: ChaosConfig, uids: list[str], max_attempts: int) -> dict[str, int]:
+    """Walk the deterministic plan: per-kind fault counts a run must show."""
+    counts = {"kill": 0, "hang": 0, "raise": 0}
+    for uid in uids:
+        for attempt in range(max_attempts):
+            fault = config.plan(uid, attempt)
+            if fault is None:
+                break  # clean attempt -> the unit completes
+            counts[fault] += 1
+    return counts
+
+
+class TestChaosConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(kill_prob=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(kill_prob=0.6, hang_prob=0.3, raise_prob=0.3)
+        with pytest.raises(ValueError):
+            ChaosConfig(max_faults_per_unit=-1)
+        with pytest.raises(ValueError):
+            ChaosConfig(hang_s=0.0)
+
+    def test_plan_is_deterministic_and_seeded(self):
+        config = ChaosConfig(seed=1, kill_prob=0.3, raise_prob=0.3)
+        uids = [f"{i}:unit#r0" for i in range(50)]
+        plans = [config.plan(uid, 0) for uid in uids]
+        assert plans == [ChaosConfig(seed=1, kill_prob=0.3, raise_prob=0.3).plan(u, 0)
+                         for u in uids]
+        assert plans != [ChaosConfig(seed=2, kill_prob=0.3, raise_prob=0.3).plan(u, 0)
+                         for u in uids]
+        assert {"kill", "raise", None} == set(plans), "a 50-unit plan covers all outcomes"
+
+    def test_attempt_cap_guarantees_clean_attempts(self):
+        config = ChaosConfig(seed=0, kill_prob=1.0, max_faults_per_unit=2)
+        assert config.plan("u", 0) == "kill"
+        assert config.plan("u", 1) == "kill"
+        assert config.plan("u", 2) is None
+        assert config.plan("u", 99) is None
+        assert ChaosConfig(kill_prob=1.0, max_faults_per_unit=0).plan("u", 0) is None
+
+    def test_needs_pool(self):
+        assert ChaosConfig(kill_prob=0.1).needs_pool()
+        assert ChaosConfig(hang_prob=0.1).needs_pool()
+        assert not ChaosConfig(raise_prob=1.0, corrupt_store_prob=1.0).needs_pool()
+
+    def test_raise_fault_executes(self):
+        config = ChaosConfig(seed=0, raise_prob=1.0, max_faults_per_unit=1)
+        with pytest.raises(ChaosError):
+            config.execute_fault("u", 0)
+        config.execute_fault("u", 1)  # past the fault budget: clean
+
+    def test_serial_campaign_rejects_kill_and_hang_plans(self):
+        with pytest.raises(ValueError):
+            run_campaign(
+                [Condition(name="q", fn=workers_mod.quick)],
+                chaos=ChaosConfig(kill_prob=0.5),
+            )
+
+
+class TestStoreCorruption:
+    def test_corrupt_entry_is_discarded_then_rewritten(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key({"k": "chaos"}, 0)
+        store.put(key, {"v": 1.0})
+        corrupt_store_entry(store, key)
+        assert store.get(key) is None, "a torn entry must never be trusted"
+        assert store.discarded == 1
+        assert not store.object_path(key).exists()
+        store.put(key, {"v": 2.0})
+        assert store.get(key) == {"v": 2.0}, "corruption must not shadow a later good write"
+
+
+class TestChaosEquivalence:
+    def grid(self) -> list[Condition]:
+        return [
+            Condition(
+                name=f"u{i}",
+                fn=workers_mod.quick,
+                params={"value": float(i)},
+                repetitions=2,
+                seed=5 * i,
+            )
+            for i in range(4)
+        ]
+
+    def test_serial_raise_chaos_is_byte_identical(self):
+        conditions = self.grid()
+        clean = run_campaign(conditions)
+        chaos = ChaosConfig(seed=7, raise_prob=0.6, max_faults_per_unit=2)
+        chaotic = run_campaign(conditions, policy=CHAOS_POLICY, chaos=chaos)
+        assert encode(chaotic) == encode(clean)
+        uids = [f"{i}:u{i}#r{r}" for i in range(4) for r in range(2)]
+        predicted = predicted_faults(chaos, uids, CHAOS_POLICY.max_attempts)
+        assert predicted["raise"] > 0, "seed must inject at least one fault"
+        assert chaotic.stats.errors == predicted["raise"]
+        assert chaotic.stats.retries == predicted["raise"]
+        assert chaotic.stats.completed == 8 and chaotic.ok
+
+    def test_pooled_kill_and_raise_chaos_is_byte_identical(self):
+        conditions = self.grid()
+        clean = run_campaign(conditions)
+        chaos = ChaosConfig(seed=3, kill_prob=0.3, raise_prob=0.3, max_faults_per_unit=2)
+        chaotic = run_campaign(conditions, workers=2, policy=CHAOS_POLICY, chaos=chaos)
+        assert encode(chaotic) == encode(clean)
+        uids = [f"{i}:u{i}#r{r}" for i in range(4) for r in range(2)]
+        predicted = predicted_faults(chaos, uids, CHAOS_POLICY.max_attempts)
+        assert predicted["kill"] > 0 and predicted["raise"] > 0, (
+            "the seed must exercise both the crash and the error path"
+        )
+        assert chaotic.stats.crashes == predicted["kill"]
+        assert chaotic.stats.errors == predicted["raise"]
+        assert chaotic.stats.faults == predicted["kill"] + predicted["raise"]
+        assert chaotic.stats.completed == 8 and chaotic.ok
+
+    def test_hang_chaos_times_out_then_matches(self):
+        policy = CampaignPolicy(
+            backoff_base_s=0.0, max_attempts=2, unit_timeout_s=0.5
+        )
+        conditions = [
+            Condition(name=f"h{i}", fn=workers_mod.quick, params={"value": float(i)})
+            for i in range(2)
+        ]
+        clean = run_campaign(conditions)
+        # Every unit hangs exactly once (past the 0.5s budget), then is clean.
+        chaos = ChaosConfig(seed=0, hang_prob=1.0, hang_s=30.0, max_faults_per_unit=1)
+        chaotic = run_campaign(conditions, workers=2, policy=policy, chaos=chaos)
+        assert encode(chaotic) == encode(clean)
+        assert chaotic.stats.timeouts == 2
+        assert chaotic.stats.retries == 2
+
+    def test_store_corruption_between_attempts_never_poisons_results(self, tmp_path):
+        conditions = self.grid()
+        store = ResultStore(tmp_path / "store")
+        clean = run_campaign(conditions)
+        chaos = ChaosConfig(
+            seed=11, raise_prob=0.7, corrupt_store_prob=1.0, max_faults_per_unit=2
+        )
+        chaotic = run_campaign(conditions, store=store, policy=CHAOS_POLICY, chaos=chaos)
+        assert chaotic.stats.errors > 0, "seed must inject at least one failure"
+        assert encode(chaotic) == encode(clean)
+        # Every corrupted entry was overwritten by the unit's eventual
+        # success: the store is fully warm and byte-identical on re-read.
+        store.reset_counters()
+        warm = run_campaign(conditions, store=store)
+        assert warm.stats.cache_hits == 8
+        assert store.discarded == 0
+        assert encode(warm) == encode(clean)
+
+
+class TestRealScenarioChaos:
+    """Chaos equivalence on real simulations (the CI chaos-smoke entry)."""
+
+    NAMES = ("bursty-downlink-zoom", "iid-downlink-zoom")
+
+    def test_chaotic_scenario_sweep_matches_clean_run(self):
+        from repro.experiments.scenario import scenario_conditions
+
+        conditions = scenario_conditions(
+            self.NAMES, duration_s=CHAOS_DURATION_S, repetitions=1
+        )
+        clean = run_campaign(conditions)
+        chaos = ChaosConfig(seed=5, kill_prob=0.35, raise_prob=0.35, max_faults_per_unit=2)
+        chaotic = run_campaign(conditions, workers=2, policy=CHAOS_POLICY, chaos=chaos)
+        assert encode(chaotic) == encode(clean)
+        uids = [f"{i}:{name}#r0" for i, name in enumerate(self.NAMES)]
+        predicted = predicted_faults(chaos, uids, CHAOS_POLICY.max_attempts)
+        assert sum(predicted.values()) > 0, "the seed must inject at least one fault"
+        assert chaotic.stats.faults == sum(predicted.values())
+        assert chaotic.stats.completed == len(conditions) and chaotic.ok

@@ -141,6 +141,36 @@ class TestStore:
         assert store.get(key) is None
         assert store.discarded == 1
 
+    def test_stale_tmp_file_never_read_or_shadowing(self, tmp_path):
+        """A writer killed before the atomic rename leaves only a ``.tmp``
+        file, which lookups ignore and a later good write supersedes."""
+        store = ResultStore(tmp_path)
+        key = result_key({"k": "torn"}, 0)
+        path = store._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp12345")
+        tmp.write_text('{"schema": 1, "key": "', encoding="utf-8")  # torn write
+        assert store.get(key) is None
+        assert key not in store.keys()
+        stored = store.put(key, {"v": 1.0})
+        assert store.get(key) == stored == {"v": 1.0}
+        assert tmp.read_text() == '{"schema": 1, "key": "', "put must not touch foreign tmp files"
+
+    def test_truncated_entry_discarded_then_superseded(self, tmp_path):
+        """A partial entry under the final name (a torn write without the
+        rename protection) is discarded on read and never shadows -- nor
+        survives -- a later good write."""
+        store = ResultStore(tmp_path)
+        key = result_key({"k": "partial"}, 0)
+        good = store.put(key, {"v": 1.0})
+        truncated = store._object_path(key).read_text(encoding="utf-8")[:40]
+        store._object_path(key).write_text(truncated, encoding="utf-8")
+        assert store.get(key) is None
+        assert store.discarded == 1
+        assert not store._object_path(key).exists()
+        assert store.put(key, {"v": 2.0}) == {"v": 2.0}
+        assert store.get(key) == {"v": 2.0} != good
+
     def test_store_from_env(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
         assert store_from_env() is None
