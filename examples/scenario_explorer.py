@@ -27,6 +27,14 @@ units are never re-simulated); ``--unit-timeout``, ``--max-retries`` and
 bounded-retry budget, and whether exhausted units are quarantined into a
 failure report instead of aborting the campaign.
 
+``--hosts N`` (requires ``--store``) fans the sweep out over N independent
+host processes coordinating only through the store's lease directory --
+the same lease/heartbeat/steal protocol `python -m repro.campaignd` workers
+use across real machines.  Any host can be killed mid-run; the survivors
+steal its leases and the sweep completes byte-identically.  With
+``--progress`` a live per-host progress/ETA line (fed by lease + journal
+state) replaces the single-process progress view.
+
 Run with:  python examples/scenario_explorer.py --list
            python examples/scenario_explorer.py --run lte-uplink-zoom --duration 30
            python examples/scenario_explorer.py --sweep --tag beyond-paper \\
@@ -61,7 +69,7 @@ def _resolve_policy(args):
     return CampaignPolicy(**overrides) if overrides else None
 
 
-def _print_campaign(stats, failures) -> None:
+def _print_campaign(stats, failures, hosts=None) -> None:
     """One summary line of execution counters, plus any quarantined units."""
     if stats:
         print(
@@ -70,7 +78,18 @@ def _print_campaign(stats, failures) -> None:
             f"{stats['resumed']} resumed, {stats['retries']} retries, "
             f"{stats['timeouts']} timeouts, {stats['crashes']} crashes, "
             f"{stats['quarantined']} quarantined"
+            + (f", {stats['stolen']} leases stolen, {stats['fenced']} fenced"
+               if stats.get("stolen") or stats.get("fenced") else "")
         )
+    if hosts:
+        for host_id in sorted(hosts):
+            s = hosts[host_id]
+            print(
+                f"  host {host_id}: {s.get('executed', 0)} run, "
+                f"{s.get('merged', 0)} merged, {s.get('claims', 0)} claims, "
+                f"{s.get('stolen', 0)} stolen, {s.get('fenced', 0)} fenced, "
+                f"{s.get('heartbeats', 0)} heartbeats"
+            )
     if failures:
         for failure in failures.quarantined:
             print(
@@ -147,9 +166,14 @@ def cmd_sweep(args) -> int:
         journal=args.journal,
         resume=args.resume,
         progress=args.progress or None,
+        hosts=args.hosts,
     )
     print(table.to_text())
-    _print_campaign(getattr(table, "campaign_stats", None), getattr(table, "failure_report", None))
+    _print_campaign(
+        getattr(table, "campaign_stats", None),
+        getattr(table, "failure_report", None),
+        getattr(table, "campaign_hosts", None),
+    )
     if store is not None:
         print(f"store: {store.hits} hits, {store.misses} misses, {store.puts} writes "
               f"({store.root})")
@@ -190,6 +214,7 @@ def cmd_verify_targets(args) -> int:
         journal=args.journal,
         resume=args.resume,
         progress=args.progress or None,
+        hosts=args.hosts,
     )
     print("committed scenario targets "
           f"(duration={args.duration if args.duration is not None else 'spec default'}, "
@@ -208,6 +233,15 @@ def cmd_verify_targets(args) -> int:
             f"{stats['resumed']} resumed, {stats['retries']} retries, "
             f"{stats['timeouts']} timeouts, {stats['crashes']} crashes, "
             f"{stats['quarantined']} quarantined"
+            + (f", {stats['stolen']} leases stolen, {stats['fenced']} fenced"
+               if stats.get("stolen") or stats.get("fenced") else "")
+        )
+    for host_id in sorted(campaign.get("hosts") or {}):
+        s = campaign["hosts"][host_id]
+        print(
+            f"  host {host_id}: {s.get('executed', 0)} run, {s.get('merged', 0)} merged, "
+            f"{s.get('claims', 0)} claims, {s.get('stolen', 0)} stolen, "
+            f"{s.get('fenced', 0)} fenced, {s.get('heartbeats', 0)} heartbeats"
         )
     for failure in quarantined:
         print(
@@ -257,6 +291,9 @@ def main() -> int:
                         help="repetitions per scenario (default: 1; 3 for --verify-targets)")
     parser.add_argument("--seed", type=int, default=0, help="base seed (repetition i uses seed+i)")
     parser.add_argument("--workers", default=None, help="pool size for --sweep: int, 'auto', or omit")
+    parser.add_argument("--hosts", type=int, default=None, metavar="N",
+                        help="fan --sweep / --verify-targets out over N lease-coordinated "
+                             "host processes sharing --store (mutually exclusive with --workers)")
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="content-addressed result store directory (incremental re-runs)")
     parser.add_argument("--no-cache", action="store_true",
@@ -280,6 +317,13 @@ def main() -> int:
 
     if args.resume and not args.journal:
         parser.error("--resume requires --journal DIR")
+    if args.hosts is not None:
+        if not args.store:
+            parser.error("--hosts requires --store DIR (the hosts' shared coordination substrate)")
+        if args.workers is not None:
+            parser.error("--hosts and --workers are mutually exclusive")
+        if args.no_cache:
+            parser.error("--hosts requires the store cache (drop --no-cache)")
 
     if args.repetitions is None:
         # --verify-targets defaults to the benchmarks' three-seed aggregation.

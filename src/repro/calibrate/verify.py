@@ -70,6 +70,7 @@ def verify_scenarios(
     journal: Union[str, Path, None, Any] = None,
     resume: bool = False,
     progress: Union[bool, None] = None,
+    hosts: Optional[int] = None,
 ) -> dict[str, Any]:
     """Score the committed scenario targets; return the margin report.
 
@@ -85,7 +86,10 @@ def verify_scenarios(
     per-scenario aggregated metrics; ``satisfied`` is ``True`` only when
     every margin is positive *and* no unit was quarantined.  The campaign's
     execution counters (retries, timeouts, crashes, quarantined units) land
-    under ``report["campaign"]`` as provenance for SCENARIO_MARGINS.json.
+    under ``report["campaign"]`` as provenance for SCENARIO_MARGINS.json;
+    a ``hosts=N`` run (lease-coordinated multi-host fan-out) additionally
+    records each host's claim/steal/fence counters under
+    ``report["campaign"]["hosts"]``.
     """
     # Imported lazily for the same reason as repro.calibrate.sweep: the
     # experiment drivers import the VCA layer, which reads the calibration
@@ -105,6 +109,7 @@ def verify_scenarios(
         journal=journal,
         resume=resume,
         progress=progress,
+        hosts=hosts,
     )
     metrics_by_scenario: dict[str, dict[str, float]] = {}
     for result in results:
@@ -142,11 +147,13 @@ def verify_scenarios(
         "campaign": {
             "stats": results.stats.as_dict(),
             "quarantined": results.failures.as_dict(),
+            **({"hosts": results.hosts} if results.hosts else {}),
         },
         "settings": {
             "duration_s": duration_s,
             "repetitions": repetitions,
             "seed": seed,
+            **({"hosts": hosts} if hosts is not None else {}),
         },
         "recorded_at": time.time(),
     }

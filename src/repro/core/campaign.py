@@ -85,6 +85,7 @@ from repro.core.supervisor import (
 
 if TYPE_CHECKING:  # the core layer only needs the names for annotations
     from repro.core.chaos import ChaosConfig
+    from repro.core.scheduler import LeaseConfig
     from repro.results.store import ResultStore
 
 __all__ = [
@@ -95,6 +96,7 @@ __all__ = [
     "CampaignStats",
     "CampaignUnitError",
     "FailureReport",
+    "expand_units",
     "run_campaign",
     "default_workers",
 ]
@@ -166,10 +168,16 @@ class CampaignOutcome(list):
     * ``failures`` -- the :class:`~repro.core.supervisor.FailureReport` of
       quarantined units (empty under ``on_exhausted="raise"``),
     * ``ok`` -- ``True`` when nothing was quarantined.
+
+    Distributed runs (``hosts=N``) additionally set ``hosts``: a mapping of
+    host id to that host's execution counters (claims, steals, fenced
+    completions, heartbeats), which the scenario verifier records into
+    ``SCENARIO_MARGINS.json`` provenance.
     """
 
     stats: CampaignStats
     failures: FailureReport
+    hosts: Optional[dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -225,21 +233,98 @@ def _campaign_id(descriptors: list[dict[str, Any]]) -> str:
     return payload_hash(descriptors)
 
 
+def expand_units(
+    conditions: Sequence[Condition],
+    policy: Optional[CampaignPolicy] = None,
+    fingerprint: Optional[str] = None,
+) -> tuple[list[WorkUnit], list[dict[str, Any]]]:
+    """Expand a campaign grid into work units plus identity descriptors.
+
+    One :class:`~repro.core.supervisor.WorkUnit` per ``(condition,
+    repetition)`` with a stable uid, the per-repetition seed, a wall-clock
+    budget derived from the condition's simulated duration, and -- when a
+    code-version ``fingerprint`` is given -- the unit's content-addressed
+    store key.  The descriptors hash into the campaign id that journal
+    resume and the distributed scheduler validate against.
+
+    Shared by :func:`run_campaign` and the ``repro.campaignd`` worker
+    entrypoint, which must expand *identical* units from the same grid on
+    every participating host.
+    """
+    if policy is None:
+        policy = CampaignPolicy()
+    units: list[WorkUnit] = []
+    descriptors: list[dict[str, Any]] = []
+    for index, condition in enumerate(conditions):
+        timeout_s = policy.timeout_for(_effective_duration(condition))
+        fn_name = (
+            f"{getattr(condition.fn, '__module__', '?')}."
+            f"{getattr(condition.fn, '__qualname__', repr(condition.fn))}"
+        )
+        for repetition in range(condition.repetitions):
+            seed = condition.seed_for(repetition)
+            key = _unit_key(condition, seed, fingerprint) if fingerprint is not None else None
+            uid = f"{index}:{condition.name}#r{repetition}"
+            descriptors.append(
+                {"uid": uid, "seed": seed, "key": key, "fn": fn_name,
+                 "params": repr(sorted(condition.params.items()))}
+            )
+            units.append(
+                WorkUnit(
+                    uid=uid,
+                    index=index,
+                    repetition=repetition,
+                    name=condition.name,
+                    fn=condition.fn,
+                    params=condition.params,
+                    seed=seed,
+                    timeout_s=timeout_s,
+                    key=key,
+                )
+            )
+    return units, descriptors
+
+
 class _ProgressReporter:
     """Progress/ETA line for long campaigns.
 
     ``sink=True`` renders a carriage-return line on stderr (throttled);
     a callable sink receives a snapshot dict after every accounted unit --
     which is also the injection point the interrupt tests use.
+
+    The ETA is completion-rate based: mean per-unit wall-clock duration
+    (measured per successful attempt, seeded across resumes from the
+    ``elapsed_s`` recorded in journal ``ok`` events) times the remaining
+    unit count, divided by the effective worker parallelism.  Unlike the
+    old elapsed/executed estimate it is not skewed by time spent merging
+    cache hits or waiting out retry backoff.
     """
 
-    def __init__(self, sink, stats: CampaignStats, min_interval_s: float = 0.5) -> None:
+    def __init__(
+        self,
+        sink,
+        stats: CampaignStats,
+        min_interval_s: float = 0.5,
+        workers: int = 1,
+        seed_durations: Optional[Sequence[float]] = None,
+    ) -> None:
         self._sink = sink
         self._stats = stats
         self._min_interval_s = min_interval_s
-        self._started = time.monotonic()
+        self._workers = max(1, workers)
+        self._seed_durations = list(seed_durations or [])
         self._last_render = 0.0
         self._rendered = False
+
+    def eta_s(self) -> Optional[float]:
+        """Seconds to completion, or ``None`` without a duration sample."""
+        stats = self._stats
+        remaining = stats.units - stats.done
+        samples = stats.completed + len(self._seed_durations)
+        if remaining <= 0 or samples <= 0:
+            return None
+        mean = (stats.exec_wall_s + sum(self._seed_durations)) / samples
+        return mean * remaining / self._workers
 
     def unit_done(self) -> None:
         stats = self._stats
@@ -248,6 +333,7 @@ class _ProgressReporter:
                 {
                     "done": stats.done,
                     "total": stats.units,
+                    "eta_s": self.eta_s(),
                     "stats": stats,
                 }
             )
@@ -256,13 +342,8 @@ class _ProgressReporter:
         if stats.done < stats.units and now - self._last_render < self._min_interval_s:
             return
         self._last_render = now
-        executed = stats.completed
-        remaining = stats.units - stats.done
-        if executed > 0 and remaining > 0:
-            rate = (now - self._started) / executed
-            eta = f"{rate * remaining:5.0f}s"
-        else:
-            eta = "    -"
+        eta_s = self.eta_s()
+        eta = f"{eta_s:5.0f}s" if eta_s is not None else "    -"
         line = (
             f"\r[campaign] {stats.done}/{stats.units} units "
             f"({stats.cache_hits} cached, {stats.resumed} resumed) "
@@ -290,6 +371,8 @@ def run_campaign(
     resume: bool = False,
     progress: Union[bool, Callable[[dict[str, Any]], None], None] = None,
     chaos: Optional["ChaosConfig"] = None,
+    hosts: Optional[int] = None,
+    lease_config: Optional["LeaseConfig"] = None,
 ) -> CampaignOutcome:
     """Execute every repetition of every condition and merge the results.
 
@@ -331,7 +414,19 @@ def run_campaign(
         a snapshot dict after every accounted unit.
     chaos:
         A :class:`~repro.core.chaos.ChaosConfig` fault plan (testing only).
-        Kill/hang faults require ``workers >= 2``.
+        Kill/hang faults require ``workers >= 2``; host-level faults
+        (:class:`~repro.core.chaos.HostFaultPlan`) require ``hosts=``.
+    hosts:
+        Fan the campaign out over this many independent *host processes*
+        coordinating purely through the shared store's lease directory
+        (:mod:`repro.core.scheduler`): any host can be SIGKILLed mid-run
+        and the survivors steal its leases and finish the campaign.
+        Requires ``store=`` with ``use_cache=True`` (the store entry is the
+        completion authority) and is mutually exclusive with ``workers``
+        (each host executes its units in-process, serially).
+    lease_config:
+        Lease TTL / heartbeat / steal tuning of a ``hosts=`` run (defaults
+        to :class:`~repro.core.scheduler.LeaseConfig`).
 
     Returns
     -------
@@ -345,7 +440,33 @@ def run_campaign(
     if policy is None:
         policy = CampaignPolicy()
     serial = workers is None or int(workers) <= 1
-    if chaos is not None and serial and chaos.needs_pool():
+    hosts_mode = hosts is not None
+    if hosts_mode:
+        if int(hosts) < 1:
+            raise ValueError("hosts must be >= 1")
+        if not serial:
+            raise ValueError(
+                "hosts= and workers= are mutually exclusive: each host "
+                "executes its units in-process, serially"
+            )
+        if store is None:
+            raise ValueError(
+                "run_campaign(hosts=...) requires store=: the shared store "
+                "directory is the hosts' only coordination substrate"
+            )
+        if not use_cache:
+            raise ValueError(
+                "run_campaign(hosts=...) requires use_cache=True: the store "
+                "entry is the completion authority the hosts converge on"
+            )
+        if chaos is not None and chaos.needs_pool():
+            raise ValueError(
+                "chaos worker kill/hang faults target the supervised pool; "
+                "use ChaosConfig(host_faults=...) for host-level faults"
+            )
+    elif lease_config is not None:
+        raise ValueError("lease_config only applies to run_campaign(hosts=...)")
+    if chaos is not None and serial and not hosts_mode and chaos.needs_pool():
         raise ValueError(
             "chaos worker-kill/hang faults require the supervised pool; "
             "pass workers >= 2 or restrict the plan to raise faults"
@@ -367,47 +488,32 @@ def run_campaign(
         fingerprint = code_fingerprint()
 
     # Expand the grid into work units with stable uids and wall-clock budgets.
-    units: list[WorkUnit] = []
-    descriptors: list[dict[str, Any]] = []
-    for index, condition in enumerate(conditions):
-        timeout_s = policy.timeout_for(_effective_duration(condition))
-        fn_name = (
-            f"{getattr(condition.fn, '__module__', '?')}."
-            f"{getattr(condition.fn, '__qualname__', repr(condition.fn))}"
-        )
-        for repetition in range(condition.repetitions):
-            seed = condition.seed_for(repetition)
-            key = _unit_key(condition, seed, fingerprint) if result_store is not None else None
-            uid = f"{index}:{condition.name}#r{repetition}"
-            descriptors.append(
-                {"uid": uid, "seed": seed, "key": key, "fn": fn_name,
-                 "params": repr(sorted(condition.params.items()))}
-            )
-            units.append(
-                WorkUnit(
-                    uid=uid,
-                    index=index,
-                    repetition=repetition,
-                    name=condition.name,
-                    fn=condition.fn,
-                    params=condition.params,
-                    seed=seed,
-                    timeout_s=timeout_s,
-                    key=key,
-                )
-            )
+    units, descriptors = expand_units(conditions, policy, fingerprint)
 
     journal_obj = resolve_journal(journal)
     completed_before: dict[str, Any] = {}
     if journal_obj is not None:
+        meta = {"conditions": len(conditions), "workers": workers if serial else int(workers)}
+        if hosts_mode:
+            meta["hosts"] = int(hosts)
         completed_before = journal_obj.start(
             _campaign_id(descriptors),
             total_units=len(units),
             resume=resume,
-            meta={"conditions": len(conditions), "workers": workers if serial else int(workers)},
+            meta=meta,
         )
 
-    progress_reporter = _ProgressReporter(progress, stats) if progress else None
+    # In hosts mode the distributed fan-out renders its own per-host view.
+    progress_reporter = (
+        _ProgressReporter(
+            progress,
+            stats,
+            workers=1 if serial else int(workers),
+            seed_durations=journal_obj.replayed_durations if journal_obj is not None else None,
+        )
+        if progress and not hosts_mode
+        else None
+    )
 
     def _accounted() -> None:
         if progress_reporter is not None:
@@ -456,7 +562,7 @@ def run_campaign(
                 pass
         merged[unit.index][unit.repetition] = metrics
         if journal_obj is not None:
-            journal_obj.record_ok(unit.uid, unit.attempts - 1, metrics)
+            journal_obj.record_ok(unit.uid, unit.attempts - 1, metrics, elapsed_s=unit.elapsed_s)
         _accounted()
 
     def on_attempt_failed(unit: WorkUnit, kind: str, error: str) -> None:
@@ -485,9 +591,50 @@ def run_campaign(
         on_quarantined=on_quarantined,
     )
 
+    host_stats: Optional[dict[str, Any]] = None
     try:
         if pending:
-            if serial:
+            if hosts_mode:
+                from repro.core.scheduler import execute_distributed
+
+                if mp_context is None:
+                    mp_context = (
+                        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+                    )
+                context = multiprocessing.get_context(mp_context)
+                dist = execute_distributed(
+                    pending,
+                    result_store,
+                    int(hosts),
+                    context,
+                    policy,
+                    lease_config=lease_config,
+                    chaos=chaos,
+                    journal_root=journal_obj.root / "hosts" if journal_obj is not None else None,
+                    campaign_id=_campaign_id(descriptors),
+                    progress=progress,
+                )
+                host_stats = dist.host_stats
+                stats.dispatched += dist.attempts
+                stats.errors += dist.errors
+                stats.stolen += dist.stolen
+                stats.fenced += dist.fenced
+                stats.exec_wall_s += sum(
+                    s.get("exec_wall_s", 0.0) for s in dist.host_stats.values()
+                )
+                for unit in pending:
+                    metrics = dist.merged.get(unit.uid)
+                    if metrics is None:
+                        continue
+                    stats.completed += 1
+                    merged[unit.index][unit.repetition] = metrics
+                    if journal_obj is not None:
+                        journal_obj.record_ok(unit.uid, 0, metrics, source="host")
+                stats.quarantined += len(dist.failures.quarantined)
+                failures.quarantined.extend(dist.failures.quarantined)
+                if failures.quarantined and policy.on_exhausted == "raise":
+                    raise CampaignUnitError(failures.quarantined[0])
+            elif serial:
                 execute_serial(pending, policy, chaos, stats, callbacks)
             else:
                 if mp_context is None:
@@ -509,6 +656,14 @@ def run_campaign(
         if progress_reporter is not None:
             progress_reporter.close()
 
+    # Clean completion: compact the append-only event log down to terminal
+    # events so resume cycles do not grow it without bound.
+    if journal_obj is not None and not stats.interrupted:
+        try:
+            journal_obj.compact()
+        except OSError:  # pragma: no cover - read-only journal dir
+            pass
+
     outcome = CampaignOutcome(
         ConditionResult(
             condition=condition,
@@ -518,4 +673,5 @@ def run_campaign(
     )
     outcome.stats = stats
     outcome.failures = failures
+    outcome.hosts = host_stats
     return outcome

@@ -19,6 +19,14 @@ discard-on-read validation under concurrent fault recovery.
 Worker kills and hangs require the supervised pool (``workers >= 2``): in a
 serial in-process campaign they would take the campaign itself down, so
 :func:`repro.core.campaign.run_campaign` rejects that combination up front.
+
+Host-level faults are a separate channel: a :class:`HostFaultPlan` targets
+one *host* of a distributed campaign (:mod:`repro.core.scheduler`) and
+kills the entire host process after N completed units, freezes its lease
+heartbeats (a livelock, indistinguishable from a dead host to its peers),
+or delays its lease release to widen the steal/fence race window.  Host
+faults are declared per host id, not drawn probabilistically -- the
+equivalence tests need to know exactly which host dies and when.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from repro.core.supervisor import stable_fraction
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.results.store import ResultStore
 
-__all__ = ["ChaosConfig", "ChaosError", "corrupt_store_entry"]
+__all__ = ["ChaosConfig", "ChaosError", "HostFaultPlan", "corrupt_store_entry"]
 
 #: Exit code of chaos-killed workers (mirrors a SIGKILLed process's 128+9).
 CHAOS_EXIT_CODE = 137
@@ -41,6 +49,60 @@ CHAOS_EXIT_CODE = 137
 
 class ChaosError(RuntimeError):
     """The fault the injector raises inside a unit function."""
+
+
+@dataclass(frozen=True)
+class HostFaultPlan:
+    """Host-level faults of one distributed-campaign host.
+
+    Attributes
+    ----------
+    host:
+        The host id the plan applies to (``host-0`` etc. under the local
+        ``run_campaign(hosts=N)`` fan-out).
+    kill_after_units:
+        ``os._exit`` the whole host process immediately after *publishing*
+        its Nth completed unit -- before the lease is released, exactly like
+        a machine lost between store write and lease cleanup.  The orphaned
+        lease is what the peers' stale-lease stealing must recover.
+    kill_after_claims:
+        ``os._exit`` the whole host process immediately after *claiming*
+        its Nth lease -- before any work is done, exactly like a machine
+        lost mid-unit.  Unlike ``kill_after_units`` the orphaned unit has
+        no store entry yet, so a surviving peer must steal the stale lease
+        and re-execute it for the campaign to complete.
+    freeze_heartbeats_after_units:
+        Stop refreshing leases once the host has executed N units (0 =
+        frozen from the start).  The host keeps running -- its next
+        completion gets *fenced* when a peer steals the expired lease.
+    release_delay_s:
+        Sleep between publishing a unit and releasing its lease, widening
+        the window in which a steal races a live owner.
+    exit_code:
+        Exit code of the chaos kill (defaults to the SIGKILL-alike 137).
+    """
+
+    host: str
+    kill_after_units: Optional[int] = None
+    kill_after_claims: Optional[int] = None
+    freeze_heartbeats_after_units: Optional[int] = None
+    release_delay_s: float = 0.0
+    exit_code: int = CHAOS_EXIT_CODE
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("host must be a non-empty host id")
+        if self.kill_after_units is not None and self.kill_after_units < 1:
+            raise ValueError("kill_after_units must be >= 1")
+        if self.kill_after_claims is not None and self.kill_after_claims < 1:
+            raise ValueError("kill_after_claims must be >= 1")
+        if (
+            self.freeze_heartbeats_after_units is not None
+            and self.freeze_heartbeats_after_units < 0
+        ):
+            raise ValueError("freeze_heartbeats_after_units must be >= 0")
+        if self.release_delay_s < 0:
+            raise ValueError("release_delay_s must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -63,6 +125,7 @@ class ChaosConfig:
     corrupt_store_prob: float = 0.0
     hang_s: float = 30.0
     max_faults_per_unit: int = 2
+    host_faults: tuple[HostFaultPlan, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("kill_prob", "hang_prob", "raise_prob", "corrupt_store_prob"):
@@ -75,10 +138,20 @@ class ChaosConfig:
             raise ValueError("max_faults_per_unit must be >= 0")
         if self.hang_s <= 0:
             raise ValueError("hang_s must be positive")
+        for plan in self.host_faults:
+            if not isinstance(plan, HostFaultPlan):
+                raise ValueError(f"host_faults entries must be HostFaultPlan, got {plan!r}")
 
     def needs_pool(self) -> bool:
         """Whether this plan can only run under the supervised pool."""
         return self.kill_prob > 0.0 or self.hang_prob > 0.0
+
+    def host_plan(self, host_id: str) -> Optional[HostFaultPlan]:
+        """The host-level fault plan targeting ``host_id``, if any."""
+        for plan in self.host_faults:
+            if plan.host == host_id:
+                return plan
+        return None
 
     # ------------------------------------------------------------- planning
     def plan(self, uid: str, attempt: int) -> Optional[str]:

@@ -39,6 +39,8 @@ import os
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
+from repro.core.fsutil import atomic_write_text, sweep_stale_tmp
+
 __all__ = ["CampaignJournal", "JournalMismatchError", "resolve_journal"]
 
 JOURNAL_SCHEMA_VERSION = 1
@@ -46,15 +48,6 @@ JOURNAL_SCHEMA_VERSION = 1
 
 class JournalMismatchError(ValueError):
     """``resume=True`` against a journal written by a different campaign."""
-
-
-def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
 
 
 class CampaignJournal:
@@ -69,6 +62,11 @@ class CampaignJournal:
         #: Unparsable event lines skipped during the last replay (a torn
         #: tail from a killed process shows up here).
         self.torn_lines = 0
+        #: Per-unit wall-clock durations recovered by the last replay --
+        #: seeds the progress reporter's ETA estimate across a resume.
+        self.replayed_durations: list[float] = []
+        #: Orphaned ``*.tmp<pid>`` files collected when the journal opened.
+        self.swept_tmp = 0
 
     # ------------------------------------------------------------- layout
     @property
@@ -100,6 +98,9 @@ class CampaignJournal:
         so ``--resume`` is safe on the first invocation too.
         """
         completed: dict[str, Any] = {}
+        # GC temp files orphaned by a writer crashed between fsync and
+        # rename; young files (a concurrent writer's) are never touched.
+        self.swept_tmp = sweep_stale_tmp(self.root, recursive=False)
         if resume and self.exists():
             try:
                 manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
@@ -122,7 +123,7 @@ class CampaignJournal:
             # Truncate the events first: a crash between the two writes must
             # never pair a fresh manifest with a stale event log.
             self.events_path.write_text("", encoding="utf-8")
-            _atomic_write(
+            atomic_write_text(
                 self.manifest_path,
                 json.dumps(
                     {
@@ -154,6 +155,7 @@ class CampaignJournal:
         """``{uid: metrics}`` of every unit the log records as completed."""
         completed: dict[str, Any] = {}
         self.torn_lines = 0
+        self.replayed_durations = []
         try:
             lines = self.events_path.read_text(encoding="utf-8").splitlines()
         except (OSError, UnicodeDecodeError):
@@ -171,7 +173,52 @@ class CampaignJournal:
                 continue
             if event.get("event") == "ok" and isinstance(event.get("metrics"), dict):
                 completed[event["unit"]] = event["metrics"]
+                elapsed = event.get("elapsed_s")
+                if isinstance(elapsed, (int, float)) and elapsed > 0:
+                    self.replayed_durations.append(float(elapsed))
         return completed
+
+    # ------------------------------------------------------------ compaction
+    def compact(self) -> int:
+        """Atomically rewrite the event log keeping only terminal events.
+
+        Every resume cycle re-appends dispatch/ok lines, so ``units.jsonl``
+        grows without bound across interrupted runs; on clean completion the
+        intermediate dispatch/failure history has served its purpose.  Keeps
+        the *last* terminal event (``ok`` / ``quarantined``) per unit, in
+        first-seen unit order, and returns the number of lines dropped.
+        Resume still works afterwards -- replay only consumes ``ok`` events.
+
+        Must be called on a closed (or never-opened) journal: compacting
+        underneath a live append handle would resurrect the pre-compaction
+        log on the next write.
+        """
+        if self._handle is not None:
+            raise RuntimeError("compact() requires a closed journal")
+        try:
+            lines = self.events_path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError):
+            return 0
+        terminal: dict[str, str] = {}
+        total = 0
+        for line in lines:
+            if not line.strip():
+                continue
+            total += 1
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict) and event.get("event") in ("ok", "quarantined"):
+                uid = event.get("unit")
+                if isinstance(uid, str):
+                    terminal[uid] = line
+        dropped = total - len(terminal)
+        if dropped <= 0:
+            return 0
+        text = "".join(line + "\n" for line in terminal.values())
+        atomic_write_text(self.events_path, text)
+        return dropped
 
     # -------------------------------------------------------------- events
     def _record(self, event: Mapping[str, Any], durable: bool = False) -> None:
@@ -198,13 +245,20 @@ class CampaignJournal:
         self._record({"event": "dispatch", "unit": uid, "attempt": attempt})
 
     def record_ok(
-        self, uid: str, attempt: int, metrics: Mapping[str, Any], source: str = "run"
+        self,
+        uid: str,
+        attempt: int,
+        metrics: Mapping[str, Any],
+        source: str = "run",
+        elapsed_s: Optional[float] = None,
     ) -> None:
-        self._record(
-            {"event": "ok", "unit": uid, "attempt": attempt, "source": source,
-             "metrics": dict(metrics)},
-            durable=True,
-        )
+        event = {"event": "ok", "unit": uid, "attempt": attempt, "source": source,
+                 "metrics": dict(metrics)}
+        if elapsed_s is not None:
+            # Wall-clock cost of the successful attempt; the progress
+            # reporter's ETA is derived from these on resume.
+            event["elapsed_s"] = round(float(elapsed_s), 6)
+        self._record(event, durable=True)
 
     def record_failure(self, uid: str, attempt: int, kind: str, error: str) -> None:
         self._record({"event": kind, "unit": uid, "attempt": attempt, "error": error})

@@ -170,6 +170,9 @@ class CampaignStats:
     timeouts: int = 0
     crashes: int = 0
     quarantined: int = 0
+    stolen: int = 0    # stale leases reclaimed (distributed campaigns only)
+    fenced: int = 0    # completions suppressed after a lease steal (ditto)
+    exec_wall_s: float = 0.0  # wall-clock spent in successful unit attempts
     interrupted: bool = False
 
     @property
@@ -250,6 +253,9 @@ class WorkUnit:
     attempts: int = 0
     failure_kinds: list[str] = field(default_factory=list)
     last_error: str = ""
+    #: Wall-clock duration of the successful attempt (set by the executors;
+    #: feeds journal ``ok`` events and the progress reporter's ETA).
+    elapsed_s: Optional[float] = None
 
     def failure(self) -> UnitFailure:
         return UnitFailure(
@@ -318,13 +324,14 @@ def _worker_main(conn, chaos) -> None:
 class _Worker:
     """Supervisor-side handle of one worker process."""
 
-    __slots__ = ("proc", "conn", "unit", "deadline")
+    __slots__ = ("proc", "conn", "unit", "deadline", "started")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
         self.conn = conn
         self.unit: Optional[WorkUnit] = None
         self.deadline: Optional[float] = None
+        self.started: Optional[float] = None
 
 
 def _spawn_worker(ctx, chaos) -> _Worker:
@@ -374,6 +381,7 @@ def execute_serial(
             unit.attempts += 1
             stats.dispatched += 1
             callbacks.on_dispatch(unit)
+            attempt_started = time.monotonic()
             try:
                 if chaos is not None:
                     chaos.execute_fault(unit.uid, attempt)
@@ -396,6 +404,8 @@ def execute_serial(
                 if delay > 0:
                     time.sleep(delay)
             else:
+                unit.elapsed_s = time.monotonic() - attempt_started
+                stats.exec_wall_s += unit.elapsed_s
                 callbacks.on_complete(unit, metrics)
                 break
 
@@ -489,7 +499,8 @@ def execute_supervised(
                         unit.attempts += 1
                         stats.dispatched += 1
                         worker.unit = unit
-                        worker.deadline = monotonic() + unit.timeout_s
+                        worker.started = monotonic()
+                        worker.deadline = worker.started + unit.timeout_s
                         callbacks.on_dispatch(unit)
 
                 busy = [worker for worker in pool if worker.unit is not None]
@@ -522,11 +533,16 @@ def execute_supervised(
                         continue
                     uid, _attempt, status, payload = message
                     unit = worker.unit
+                    dispatched_at = worker.started
                     worker.unit = None
                     worker.deadline = None
+                    worker.started = None
                     if unit is None or unit.uid != uid:  # pragma: no cover - stale reply
                         continue
                     if status == "ok":
+                        if dispatched_at is not None:
+                            unit.elapsed_s = monotonic() - dispatched_at
+                            stats.exec_wall_s += unit.elapsed_s
                         callbacks.on_complete(unit, payload)
                     else:
                         fail_attempt(unit, KIND_ERROR, str(payload))

@@ -52,6 +52,11 @@ class ExperimentSpec:
         """Whether the driver forwards policy/journal/resume to the campaign."""
         return self._has_parameter("policy")
 
+    @property
+    def supports_hosts(self) -> bool:
+        """Whether the driver can fan out over lease-coordinated hosts."""
+        return self._has_parameter("hosts")
+
     def _has_parameter(self, name: str) -> bool:
         try:
             return name in inspect.signature(self.driver).parameters
@@ -213,6 +218,7 @@ def run_experiment(
     policy: Optional[Any] = None,
     journal: Optional[Any] = None,
     resume: bool = False,
+    hosts: Optional[int] = None,
     **kwargs: Any,
 ):
     """Run one experiment by id, optionally over a supervised process pool.
@@ -223,7 +229,9 @@ def run_experiment(
     drivers that can re-score unchanged grid cells from cache; ``policy``
     (a :class:`repro.core.campaign.CampaignPolicy`), ``journal`` and
     ``resume`` reach drivers that expose the campaign's fault-tolerance
-    controls (:attr:`ExperimentSpec.supports_fault_tolerance`).  For the
+    controls (:attr:`ExperimentSpec.supports_fault_tolerance`); ``hosts``
+    reaches drivers that support the lease-coordinated multi-host fan-out
+    (:attr:`ExperimentSpec.supports_hosts` -- requires ``store``).  For the
     remaining drivers a non-default value raises so a typo'd campaign
     doesn't silently run serially / uncached / unsupervised.
     """
@@ -234,6 +242,12 @@ def run_experiment(
                 f"experiment {experiment_id!r} does not support parallel workers"
             )
         kwargs["workers"] = workers
+    if hosts is not None:
+        if not spec.supports_hosts:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not support multi-host fan-out"
+            )
+        kwargs["hosts"] = hosts
     if store is not None:
         if not spec.supports_store:
             raise ValueError(

@@ -129,6 +129,7 @@ def run_scenario_sweep(
     journal: Union["CampaignJournal", str, Path, None] = None,
     resume: bool = False,
     progress: Union[bool, None] = None,
+    hosts: Optional[int] = None,
 ) -> TableResult:
     """Run every selected scenario ``repetitions`` times and tabulate.
 
@@ -138,12 +139,15 @@ def run_scenario_sweep(
     ``store``/``use_cache`` make the sweep incremental (see module docs);
     ``policy``/``journal``/``resume``/``progress`` are the fault-tolerance
     controls of :func:`repro.core.campaign.run_campaign` (timeouts, retries,
-    quarantine, checkpointed resume, progress/ETA).
+    quarantine, checkpointed resume, progress/ETA); ``hosts`` fans the sweep
+    out over N lease-coordinated host processes sharing the store.
 
     The returned table carries the campaign's execution counters as
-    ``table.campaign_stats`` (a dict) and any quarantined units as
-    ``table.failure_report``; quarantined scenarios with no surviving
-    repetitions are omitted from the rows rather than reported as zeros.
+    ``table.campaign_stats`` (a dict), any quarantined units as
+    ``table.failure_report``, and -- for ``hosts`` runs -- the per-host
+    counters as ``table.campaign_hosts``; quarantined scenarios with no
+    surviving repetitions are omitted from the rows rather than reported as
+    zeros.
     """
     if scenarios is not None:
         names = [get_scenario(name).name for name in scenarios]
@@ -163,6 +167,7 @@ def run_scenario_sweep(
         journal=journal,
         resume=resume,
         progress=progress,
+        hosts=hosts,
     )
     table = TableResult(
         table_id="scenario_sweep",
@@ -178,4 +183,5 @@ def run_scenario_sweep(
         )
     table.campaign_stats = results.stats.as_dict()
     table.failure_report = results.failures
+    table.campaign_hosts = results.hosts
     return table

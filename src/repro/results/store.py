@@ -28,6 +28,7 @@ import os
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
+from repro.core.fsutil import atomic_write_text, sweep_stale_tmp
 from repro.results import fingerprint
 from repro.results.fingerprint import canonical_json
 
@@ -53,6 +54,10 @@ class ResultStore:
         self.misses = 0
         self.puts = 0
         self.discarded = 0
+        #: Orphaned ``*.tmp<pid>`` files (a writer crashed between fsync and
+        #: rename) collected on open; only files older than the safety age
+        #: are touched, so a concurrent writer's in-flight temp survives.
+        self.swept_tmp = sweep_stale_tmp(self.root / "objects")
 
     # ------------------------------------------------------------- layout
     def object_path(self, key: str) -> Path:
@@ -124,25 +129,15 @@ class ResultStore:
         }
         path = self.object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         # Torn-write safety: flush + fsync the temp file *before* the atomic
         # rename, so a crash (or SIGKILL) can never publish a half-written
         # entry under the final name -- the worst case is a stale ``.tmp``
-        # file, which lookups never read and which cannot shadow a later
-        # good write.  The directory fsync persists the rename itself.
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, indent=2, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        try:
-            dir_fd = os.open(path.parent, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:  # pragma: no cover - fs without directory fsync
-            pass
+        # file, which lookups never read, which cannot shadow a later good
+        # write, and which the open-time sweep collects once it is old
+        # enough.  The directory fsync persists the rename itself.
+        atomic_write_text(
+            path, json.dumps(entry, indent=2, sort_keys=True) + "\n", fsync_dir=True
+        )
         self.puts += 1
         return normalized
 

@@ -127,3 +127,33 @@ def run_sleepy_campaign(
         conditions, workers=workers, store=store_dir, journal=journal_dir
     )
     return [dict(result.runs[0]) for result in results]
+
+
+def race_claim(lease_root: str, host_id: str, key: str, barrier, queue) -> None:
+    """Race one ``LeaseManager.try_claim`` against sibling processes.
+
+    Every racer waits on the shared barrier so the ``O_EXCL`` creates hit
+    the filesystem as close to simultaneously as the scheduler allows, then
+    reports ``(host_id, won)`` on the queue.
+    """
+    from repro.core.scheduler import LeaseManager
+
+    manager = LeaseManager(lease_root, host_id)
+    barrier.wait()
+    lease = manager.try_claim(key, "contested", ttl_s=60.0)
+    queue.put((host_id, lease is not None))
+
+
+def hammer_put(store_root: str, key: str, rounds: int, barrier) -> None:
+    """Repeatedly publish the same (key, metrics) entry as fast as possible.
+
+    Several of these run concurrently against one store while the parent
+    reads the key in a loop: any torn or mixed entry would fail the store's
+    read validation and surface as a ``None`` get.
+    """
+    from repro.results import ResultStore
+
+    store = ResultStore(store_root)
+    barrier.wait()
+    for round_index in range(rounds):
+        store.put(key, {"metric": 1.5, "seed": 0.0}, meta={"round": round_index})
