@@ -9,6 +9,9 @@ Modes:
   metrics (one line per repetition plus the mean).
 * ``--sweep [--tag TAG]`` runs a whole pack through the campaign process
   pool and prints the summary table (the ``scenario_sweep`` experiment).
+* ``--cascade [NAME ...]`` runs the cascaded-SFU pack (scenarios tagged
+  ``cascade``) through the campaign pool and prints the per-region table
+  (the ``cascade_sweep`` experiment).
 * ``--verify-targets`` scores the committed scenario targets
   (repro.calibrate.targets.SCENARIO_TARGETS) and exits non-zero if any
   margin is non-positive.
@@ -114,6 +117,9 @@ def cmd_list(args) -> int:
             ("jitter", spec.jitter),
             ("aqm:" + (spec.aqm[0] if spec.aqm else ""), spec.aqm),
         ) if present]
+        if spec.cascade is not None:
+            kind, params = spec.cascade
+            extras.append(f"cascade:{kind}x{params.get('regions', 2)}")
         workload = f"{spec.participants}p {spec.vca}"
         print(f"  {spec.name:28s} [{', '.join(spec.tags)}] {workload:12s} "
               f"{condition}/{spec.direction}" + (f" + {', '.join(extras)}" if extras else ""))
@@ -186,6 +192,52 @@ def cmd_sweep(args) -> int:
         failures = getattr(table, "failure_report", None)
         if failures:
             payload["quarantined"] = failures.as_dict()
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if getattr(table, "failure_report", None):
+        print("PARTIAL: some units were quarantined (see above)")
+        return 1
+    return 0
+
+
+def cmd_cascade(args) -> int:
+    from repro.experiments.cascade import run_cascade_sweep
+
+    workers = args.workers
+    if isinstance(workers, str) and workers != "auto":
+        workers = int(workers)
+    store = _resolve_store(args)
+    names = args.cascade if args.cascade and args.cascade != ["all"] else None
+    table = run_cascade_sweep(
+        scenarios=names,
+        duration_s=args.duration,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=workers,
+        store=store,
+        use_cache=not args.no_cache,
+        policy=_resolve_policy(args),
+        journal=args.journal,
+        resume=args.resume,
+        progress=args.progress or None,
+        hosts=args.hosts,
+    )
+    print(table.to_text())
+    _print_campaign(
+        getattr(table, "campaign_stats", None),
+        getattr(table, "failure_report", None),
+        getattr(table, "campaign_hosts", None),
+    )
+    if store is not None:
+        print(f"store: {store.hits} hits, {store.misses} misses, {store.puts} writes "
+              f"({store.root})")
+    if args.json:
+        payload = {
+            "columns": table.columns,
+            "rows": table.rows,
+            "campaign": getattr(table, "campaign_stats", None),
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
@@ -281,6 +333,9 @@ def main() -> int:
     mode.add_argument("--list", action="store_true", help="list the registry (default)")
     mode.add_argument("--run", nargs="+", metavar="NAME", help="run specific scenarios")
     mode.add_argument("--sweep", action="store_true", help="sweep a pack via the campaign pool")
+    mode.add_argument("--cascade", nargs="*", metavar="NAME",
+                      help="sweep the cascaded-SFU pack (or specific cascade scenarios; "
+                           "no names / 'all' = every scenario tagged 'cascade')")
     mode.add_argument("--verify-targets", action="store_true",
                       help="score the committed scenario targets (exit 1 on violation)")
     mode.add_argument("--manifest", metavar="FILE",
@@ -333,6 +388,8 @@ def main() -> int:
         return cmd_run(args)
     if args.sweep:
         return cmd_sweep(args)
+    if args.cascade is not None:
+        return cmd_cascade(args)
     if args.verify_targets:
         return cmd_verify_targets(args)
     if args.manifest:

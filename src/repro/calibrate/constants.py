@@ -92,6 +92,23 @@ class CompetitionConstants:
     #: loss alone never thins a two-party downlink; multiparty thinning still
     #: applies through the per-receiver budget split.
     zoom_relay_min_bitrate_bps: float = 1_200_000.0
+    #: Sustained-loss shedding: once a receiver's aggregate downlink loss has
+    #: stayed at/above this fraction for ``zoom_relay_shed_after_s`` seconds,
+    #: the relay paces its layer budget to ``zoom_relay_shed_headroom`` times
+    #: the *delivered* rate instead of the estimator floor.  This bounds the
+    #: tx-side loss flood at the 0.5 Mbps competition floor (the relay was
+    #: shipping the full ladder into a ~77 % loss pipe) while the threshold
+    #: sits above the bursty drop-tail loss Zoom must ride out to defend its
+    #: queue share in Figure 10 -- ordinary competition loss never trips it.
+    zoom_relay_shed_loss_threshold: float = 0.40
+    #: Seconds of continuously high loss before shedding engages.
+    zoom_relay_shed_after_s: float = 6.0
+    #: Layer budget as a multiple of the delivered rate while shedding.
+    zoom_relay_shed_headroom: float = 3.0
+    #: EWMA factor smoothing the per-window loss the shed thresholds read
+    #: (engage at the threshold, release below half of it): raw windows are
+    #: bursty enough that one clean window would flap the shed state.
+    zoom_relay_shed_loss_smoothing: float = 0.30
 
     # --- Meet SFU per-receiver downlink estimator -----------------------
     meet_relay_held_hold_s: float = 3.0

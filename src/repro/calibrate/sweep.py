@@ -49,6 +49,7 @@ def _targets_payload() -> list[dict[str, object]]:
     return [
         {
             "figure": t.figure,
+            "key": t.key,
             "metric": t.metric,
             "op": t.op,
             "threshold": t.threshold,
@@ -92,10 +93,23 @@ def evaluate_candidate(
             )
             return run.share(direction)
 
+        # The fig10 cell also records Zoom's tx-side downlink loss (relay tx
+        # vs client rx), the "floods through sustained 40%+ loss" caveat:
+        # the shed constants bound it from above, the paper's measured
+        # aggressiveness bounds it from below.
+        fig10_run = run_competition(
+            "teams",
+            "zoom",
+            0.5,
+            competitor_duration_s=duration,
+            seed=seed,
+            capture_servers=True,
+        )
         metrics: dict[str, float] = {
             "fig8_zoom_vs_meet_up": share("zoom", "meet", "up", 0.5),
             "fig8_meet_vs_zoom_up": share("meet", "zoom", "up", 0.5),
-            "fig10_teams_vs_zoom_down": share("teams", "zoom", "down", 0.5),
+            "fig10_teams_vs_zoom_down": fig10_run.share("down"),
+            "fig10_zoom_tx_loss": fig10_run.downlink_tx_loss("F1", "competitor"),
             "fig12_teams_down_share": share("teams", "iperf-down", "down", 2.0),
             "fig12_teams_up_share": share("teams", "iperf-up", "up", 2.0),
             "fig12_zoom_down_share": share("zoom", "iperf-down", "down", 2.0),
@@ -189,7 +203,7 @@ def run_calibration_sweep(
     for overrides, result in zip(grid, results):
         per_rep_margins = [score_metrics(run) for run in result.runs]
         worst_margins = {
-            target.metric: min(m[target.metric] for m in per_rep_margins)
+            target.key: min(m[target.key] for m in per_rep_margins)
             for target in FIGURE_TARGETS
         }
         scored.append(

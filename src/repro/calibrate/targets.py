@@ -53,6 +53,17 @@ class FigureTarget:
     #: What the paper measured (for humans reading CALIBRATION.json).
     paper_note: str
 
+    @property
+    def key(self) -> str:
+        """Unique key for margin dictionaries.
+
+        Two targets may band the *same* metric from both sides (the fig10
+        tx-loss band: ``gt`` the paper's measured flood floor, ``lt`` the
+        shed ceiling), so the metric name alone would collide and silently
+        drop one side's margin.
+        """
+        return f"{self.metric}:{self.op}"
+
     def margin(self, metrics: Mapping[str, float]) -> float:
         value = float(metrics[self.metric])
         if self.op == "lt":
@@ -86,6 +97,20 @@ FIGURE_TARGETS: tuple[FigureTarget, ...] = (
         paper_note="Teams is passive on the downlink against Zoom (Fig 10b)",
     ),
     FigureTarget(
+        figure="fig10",
+        metric="fig10_zoom_tx_loss",
+        op="gt",
+        threshold=0.40,
+        paper_note="Zoom's relay keeps flooding through sustained 40%+ downlink loss (PR 3 caveat, measured)",
+    ),
+    FigureTarget(
+        figure="fig10",
+        metric="fig10_zoom_tx_loss",
+        op="lt",
+        threshold=0.75,
+        paper_note="Sustained-loss layer shedding bounds the relay's tx-side flood at the competition floor",
+    ),
+    FigureTarget(
         figure="fig12",
         metric="fig12_teams_down_share",
         op="lt",
@@ -117,8 +142,12 @@ FIGURE_TARGETS: tuple[FigureTarget, ...] = (
 
 
 def score_metrics(metrics: Mapping[str, float]) -> dict[str, float]:
-    """Per-target margins (positive = target satisfied) for one evaluation."""
-    return {target.metric: target.margin(metrics) for target in FIGURE_TARGETS}
+    """Per-target margins (positive = target satisfied) for one evaluation.
+
+    Keyed by :attr:`FigureTarget.key` (``metric:op``), not the bare metric:
+    banded metrics are constrained from both sides by two targets.
+    """
+    return {target.key: target.margin(metrics) for target in FIGURE_TARGETS}
 
 
 def all_satisfied(metrics: Mapping[str, float]) -> bool:
@@ -245,6 +274,21 @@ SCENARIO_TARGETS: tuple[ScenarioTarget, ...] = (
         threshold=0.03,
         note="CoDel holds the standing queue near its target; drop-tail bufferbloats",
         recorded={"duration=10": 0.107, "duration=45": 0.467},
+    ),
+    ScenarioTarget(
+        name="lossy-trunk-far-region-freeze",
+        metric="cascade_freeze_gap",
+        scenario="cascade/lossy-trunk-far-freeze-zoom",
+        mode="value",
+        op="gt",
+        threshold=0.01,
+        note=(
+            "in a cascaded two-region call with a bursty-lossy forward "
+            "trunk, far-region receivers freeze while the near region "
+            "(co-located with every sender's ingest node) stays clean -- "
+            "the trunk is the only path that can hurt them"
+        ),
+        recorded={"duration=10": 0.067, "duration=45": 0.040},
     ),
     ScenarioTarget(
         name="codel-throughput-ratio",

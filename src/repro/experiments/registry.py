@@ -17,7 +17,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.experiments import competition, disruption, modality, scenario, static
+from repro.experiments import cascade, competition, disruption, modality, scenario, static
 
 __all__ = [
     "ExperimentSpec",
@@ -186,6 +186,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Netem scenario library sweep (trace-driven links, bursty loss, jitter, AQM)",
             "beyond-paper",
             scenario.run_scenario_sweep,
+        ),
+        ExperimentSpec(
+            "cascade_sweep",
+            "Cascaded SFU topology sweep (geo-distributed nodes, netem-profiled trunks)",
+            "beyond-paper",
+            cascade.run_cascade_sweep,
         ),
         ExperimentSpec(
             "fig15c",

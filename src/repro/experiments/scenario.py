@@ -18,6 +18,7 @@ from cache while editing one spec re-simulates exactly that scenario.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
@@ -31,6 +32,7 @@ from repro.netem.scenarios import (
     ScenarioSpec,
     get_scenario,
     list_scenarios,
+    resolve_trace_path,
     run_scenario_by_name,
 )
 
@@ -65,10 +67,34 @@ def scenario_cache_payload(
     the effective call duration (``None`` resolves to the spec's own).
     """
     duration = float(duration_s) if duration_s is not None else spec.duration_s
-    return {
+    payload: dict[str, Any] = {
         "kind": "scenario",
         "spec": dataclasses.asdict(spec),
         "duration_s": duration,
+    }
+    trace_content = _trace_content_hashes(spec)
+    if trace_content:
+        # Trace-driven specs name a file, not its content; hashing the bytes
+        # makes swapping a committed pack (or editing an ad-hoc Mahimahi
+        # file) invalidate exactly the scenarios that read it.
+        payload["trace_content"] = trace_content
+    return payload
+
+
+def _trace_content_hashes(spec: ScenarioSpec) -> dict[str, str]:
+    """Content digests of every trace file a spec's profile would read."""
+    kind, params = spec.profile
+    paths: list[Path] = []
+    if kind == "trace":
+        directions = (
+            (str(params["direction"]),) if "direction" in params else spec.directions
+        )
+        paths = [resolve_trace_path(str(params["pack"]), d) for d in directions]
+    elif kind == "mahimahi":
+        paths = [Path(params["path"])]
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+        for path in paths
     }
 
 

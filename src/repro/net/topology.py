@@ -32,8 +32,10 @@ from repro.net.simulator import Simulator
 
 __all__ = [
     "AccessTopology",
+    "CascadeTopology",
     "CompetitionTopology",
     "build_access_topology",
+    "build_cascade_topology",
     "build_competition_topology",
 ]
 
@@ -46,6 +48,10 @@ DEFAULT_ACCESS_DELAY_S = 0.002
 #: One-way delay between hosts on the same local network (iPerf server case;
 #: the paper reports a 2 ms RTT to its iPerf3 server).
 DEFAULT_LAN_DELAY_S = 0.001
+
+#: One-way propagation delay of an inter-region server-to-server trunk
+#: (geo-distributed data centres, e.g. US east/west coast).
+DEFAULT_TRUNK_DELAY_S = 0.040
 
 
 @dataclass
@@ -251,6 +257,234 @@ def build_access_topology(
         downlink=downlink,
         measured_client=measured,
         server_name=server_name,
+    )
+
+
+@dataclass
+class CascadeTopology:
+    """Topology of a cascaded call: regional access islands joined by trunks.
+
+    Region 0 contains the measured client behind the same shaped access-link
+    wiring as :class:`AccessTopology` (so :meth:`shape` / :meth:`impair` have
+    identical semantics), plus that region's SFU node.  Every further region
+    is an island of clients around its own node, and nodes are joined by
+    directed pairs of real :class:`~repro.net.link.Link` trunks that can be
+    shaped and impaired independently with :meth:`shape_trunk` /
+    :meth:`impair_trunk`.
+    """
+
+    sim: Simulator
+    hosts: dict[str, Host]
+    router: Router
+    cores: dict[str, Router]
+    uplink: Link
+    downlink: Link
+    measured_client: str
+    server_name: str
+    #: SFU node hosts keyed by node id (== host name).
+    node_hosts: dict[str, Host] = field(default_factory=dict)
+    #: Directed trunk links keyed by ``(src_node, dst_node)``.
+    trunk_links: dict[tuple[str, str], Link] = field(default_factory=dict)
+    shapers: list[LinkShaper] = field(default_factory=list)
+
+    def host(self, name: str) -> Host:
+        """Look up a host (client or node) by name."""
+        return self.hosts[name]
+
+    @property
+    def core(self) -> Router:
+        """The measured region's core (AccessTopology-compatible alias)."""
+        return next(iter(self.cores.values()))
+
+    def shape(
+        self,
+        up_profile: Optional[BandwidthProfile] = None,
+        down_profile: Optional[BandwidthProfile] = None,
+    ) -> None:
+        """Apply bandwidth profiles to the measured client's access link."""
+        if up_profile is not None:
+            shaper = LinkShaper(self.sim, self.uplink, up_profile)
+            shaper.apply()
+            self.shapers.append(shaper)
+        if down_profile is not None:
+            shaper = LinkShaper(self.sim, self.downlink, down_profile)
+            shaper.apply()
+            self.shapers.append(shaper)
+
+    def impair(self, direction: str, loss_model=None, jitter_model=None, aqm=None) -> None:
+        """Declare the complete impairment state of one access-link direction."""
+        if direction not in ("up", "down"):
+            raise ValueError(f"impair takes one direction ('up'/'down'), got {direction!r}")
+        link = self.uplink if direction == "up" else self.downlink
+        link.configure_impairments(loss_model=loss_model, jitter_model=jitter_model, aqm=aqm)
+
+    def trunk(self, src_node: str, dst_node: str) -> Link:
+        """The directed trunk link from ``src_node`` to ``dst_node``."""
+        return self.trunk_links[(src_node, dst_node)]
+
+    def shape_trunk(
+        self,
+        src_node: str,
+        dst_node: str,
+        profile: BandwidthProfile,
+        both: bool = True,
+    ) -> None:
+        """Apply a bandwidth profile to a trunk (both directions by default)."""
+        directions = [(src_node, dst_node)]
+        if both:
+            directions.append((dst_node, src_node))
+        for key in directions:
+            shaper = LinkShaper(self.sim, self.trunk_links[key], profile)
+            shaper.apply()
+            self.shapers.append(shaper)
+
+    def impair_trunk(
+        self,
+        src_node: str,
+        dst_node: str,
+        loss_model=None,
+        jitter_model=None,
+        aqm=None,
+    ) -> None:
+        """Declare the complete impairment state of one directed trunk.
+
+        Impairment policies are stateful, so each directed trunk needs its
+        own instances -- impair the reverse direction with a second call.
+        """
+        self.trunk_links[(src_node, dst_node)].configure_impairments(
+            loss_model=loss_model, jitter_model=jitter_model, aqm=aqm
+        )
+
+
+def build_cascade_topology(
+    sim: Simulator,
+    plan,
+    wan_delay_s: float = DEFAULT_WAN_DELAY_S,
+    access_delay_s: float = DEFAULT_ACCESS_DELAY_S,
+    lan_delay_s: float = DEFAULT_LAN_DELAY_S,
+    trunk_delay_s: float = DEFAULT_TRUNK_DELAY_S,
+    queue_bytes: int = DEFAULT_QUEUE_BYTES,
+) -> CascadeTopology:
+    """Build the geo-distributed cascade topology for a ``CascadePlan``.
+
+    ``plan`` is duck-typed (``repro.vca.sfu.cascade.CascadePlan``: regions
+    with ``.node`` / ``.clients``, plus ``.trunks`` edges) so the net layer
+    does not import the VCA layer.  The first client of the first region is
+    the measured client: it sits behind the same shaped access wiring as
+    :func:`build_access_topology` (links named ``{client}-uplink`` /
+    ``{client}-downlink``), so a one-region cascade is byte-identical to the
+    access topology.  Each trunk edge becomes a *pair* of directed
+    :class:`~repro.net.link.Link` instances named ``trunk-{a}>{b}`` with
+    ``trunk_delay_s`` propagation, shapeable and impairable per direction.
+    """
+    regions = list(plan.regions)
+    if not regions:
+        raise ValueError("a cascade needs at least one region")
+    measured = regions[0].clients[0]
+    hosts: dict[str, Host] = {}
+    node_hosts: dict[str, Host] = {}
+    cores: dict[str, Router] = {}
+    trunk_links: dict[tuple[str, str], Link] = {}
+
+    # Node hosts and their egress routers first: trunks and region wiring
+    # both hang off them.
+    node_routers: dict[str, Router] = {}
+    for region in regions:
+        node = Host(sim, region.node)
+        hosts[region.node] = node
+        node_hosts[region.node] = node
+        node_routers[region.node] = Router(sim, f"egress-{region.node}")
+
+    # Directed trunk pairs between nodes.
+    for a, b in plan.trunks:
+        for src, dst in ((a, b), (b, a)):
+            link = Link(
+                sim, f"trunk-{src}>{dst}", UNCONSTRAINED_BPS, trunk_delay_s, queue_bytes
+            )
+            link.connect(node_hosts[dst].receive)
+            trunk_links[(src, dst)] = link
+            node_routers[src].add_link_route(dst, link)
+
+    home_router: Optional[Router] = None
+    uplink: Optional[Link] = None
+    downlink: Optional[Link] = None
+    for index, region in enumerate(regions):
+        core = Router(sim, f"core-{region.node}")
+        cores[region.node] = core
+        node = node_hosts[region.node]
+        egress = node_routers[region.node]
+        node.set_egress(egress.receive, batch=egress.receive_batch)
+        egress.set_default_delay_route(
+            core.receive, lan_delay_s, receiver_batch=core.receive_batch
+        )
+        core.add_delay_route(
+            region.node, node.receive, lan_delay_s, receiver_batch=node.receive_batch
+        )
+        for client_name in region.clients:
+            if index == 0 and client_name == measured:
+                # The measured client keeps the exact AccessTopology wiring:
+                # shaped access links in front of a home router one WAN hop
+                # from the regional core.
+                home_router = Router(sim, f"router-{measured}")
+                c1 = Host(sim, measured)
+                hosts[measured] = c1
+                uplink = Link(
+                    sim, f"{measured}-uplink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes
+                )
+                downlink = Link(
+                    sim, f"{measured}-downlink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes
+                )
+                uplink.connect(home_router.receive)
+                downlink.connect(c1.receive)
+                c1.set_egress(uplink.send, batch=uplink.send_batch)
+                home_router.add_link_route(measured, downlink)
+                home_router.set_default_delay_route(
+                    core.receive, wan_delay_s, receiver_batch=core.receive_batch
+                )
+                core.add_delay_route(
+                    measured,
+                    home_router.receive,
+                    wan_delay_s,
+                    receiver_batch=home_router.receive_batch,
+                )
+                egress.add_delay_route(
+                    measured,
+                    home_router.receive,
+                    lan_delay_s + wan_delay_s,
+                    receiver_batch=home_router.receive_batch,
+                )
+                continue
+            client = Host(sim, client_name)
+            hosts[client_name] = client
+            pipe = DelayPipe(sim, core.receive, wan_delay_s, receiver_batch=core.receive_batch)
+            client_egress = SourceRoutedEgress(
+                sim, wan_delay_s + lan_delay_s, pipe.send, fallback_batch=pipe.send_batch
+            )
+            client_egress.add_route(region.node, node.receive, node.receive_batch)
+            client.set_egress(client_egress.send, batch=client_egress.send_batch)
+            core.add_delay_route(
+                client_name, client.receive, wan_delay_s, receiver_batch=client.receive_batch
+            )
+            # The node reaches its regional clients in one fused LAN+WAN hop.
+            egress.add_delay_route(
+                client_name,
+                client.receive,
+                lan_delay_s + wan_delay_s,
+                receiver_batch=client.receive_batch,
+            )
+
+    assert home_router is not None and uplink is not None and downlink is not None
+    return CascadeTopology(
+        sim=sim,
+        hosts=hosts,
+        router=home_router,
+        cores=cores,
+        uplink=uplink,
+        downlink=downlink,
+        measured_client=measured,
+        server_name=regions[0].node,
+        node_hosts=node_hosts,
+        trunk_links=trunk_links,
     )
 
 

@@ -23,7 +23,8 @@ preserved under impairments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
 
 import numpy as np
 
@@ -33,21 +34,31 @@ from repro.core.profiles import synthetic_profile
 from repro.media.layout import ViewMode
 from repro.net.shaper import BandwidthProfile
 from repro.net.simulator import Simulator
-from repro.net.topology import AccessTopology, build_access_topology
+from repro.net.topology import (
+    AccessTopology,
+    CascadeTopology,
+    DEFAULT_TRUNK_DELAY_S,
+    build_access_topology,
+    build_cascade_topology,
+)
 from repro.netem.aqm import CoDelQueue
 from repro.netem.impairments import DelayJitter, GilbertElliottLoss, IidLoss
 from repro.netem.traces import load_mahimahi
 from repro.vca.call import Call, CallConfig
+from repro.vca.sfu import CascadePlan, CascadeRegion
 
 __all__ = [
     "ScenarioSpec",
     "ScenarioRun",
+    "compile_cascade_plan",
     "register_scenario",
     "get_scenario",
     "list_scenarios",
+    "resolve_trace_path",
     "run_scenario",
     "run_scenario_by_name",
     "SCENARIOS",
+    "TRACES_DIR",
 ]
 
 #: Call join time and post-call slack used by every scenario run.
@@ -60,6 +71,16 @@ WARMUP_S = 12.0
 _PROFILE_SEED = 7919
 _LOSS_SEED = 104_729
 _JITTER_SEED = 1_299_709
+#: Seed offsets of the per-trunk stochastic roles (cascade scenarios).  Each
+#: directed trunk adds its index on top, so two trunks of one run never share
+#: an impairment RNG stream with each other or with the access link.
+_TRUNK_PROFILE_SEED = 15_485_863
+_TRUNK_LOSS_SEED = 32_452_843
+_TRUNK_JITTER_SEED = 49_979_687
+
+#: Committed capacity-trace packs (satellite data of the cascade PR) live at
+#: the repository root so experiment outputs can cite exact file content.
+TRACES_DIR = Path(__file__).resolve().parents[3] / "traces"
 
 #: Relative change of the target bitrate that counts as a switch.
 RATE_SWITCH_THRESHOLD = 0.10
@@ -80,6 +101,15 @@ class ScenarioSpec:
       / ``p_bad_to_good`` / ``loss_good`` / ``loss_bad``).
     * ``jitter``: ``("delay", {"mean_s": 0.01, "std_s": 0.005, "rho": 0.9})``.
     * ``aqm``: ``("codel", {"target_s": 0.005, "interval_s": 0.1})``.
+    * ``cascade``: ``("star" | "chain" | "mesh", {...})`` -- run the call over
+      a cascade of SFU nodes instead of a single server.  Params:
+      ``regions`` (node count), ``clients_per_region`` (int, or list of
+      ints), and optionally ``trunk``: a dict with any of ``profile`` /
+      ``loss`` / ``jitter`` / ``aqm`` component specs plus ``delay_s`` and
+      ``impair_direction`` (``"forward"`` impairs only the R_i->R_j
+      direction of each trunk as listed, ``"both"`` -- the default -- both).
+      The measured client C1 is homed in region 0; trunk impairments get
+      their own RNG seed streams per directed trunk.
     """
 
     name: str
@@ -93,6 +123,7 @@ class ScenarioSpec:
     loss: Optional[tuple[str, Mapping[str, Any]]] = None
     jitter: Optional[tuple[str, Mapping[str, Any]]] = None
     aqm: Optional[tuple[str, Mapping[str, Any]]] = None
+    cascade: Optional[tuple[str, Mapping[str, Any]]] = None
     duration_s: float = 120.0
     tags: tuple[str, ...] = ()
 
@@ -111,15 +142,88 @@ class ScenarioSpec:
             if value is not None:
                 kind, params = value
                 object.__setattr__(self, attr, (kind, dict(params)))
+        if self.cascade is not None:
+            kind, params = self.cascade
+            if kind not in ("star", "chain", "mesh"):
+                raise ValueError(f"cascade kind must be star/chain/mesh, got {kind!r}")
+            params = dict(params)
+            if "trunk" in params and params["trunk"] is not None:
+                params["trunk"] = dict(params["trunk"])
+            object.__setattr__(self, "cascade", (kind, params))
+            # The cascade axis is the source of truth for the call size.
+            object.__setattr__(self, "participants", sum(_cascade_region_sizes(self)))
 
     @property
     def directions(self) -> tuple[str, ...]:
         return ("up", "down") if self.direction == "both" else (self.direction,)
 
 
+def _cascade_region_sizes(spec: ScenarioSpec) -> list[int]:
+    """Client count per region of a cascade spec."""
+    assert spec.cascade is not None
+    _, params = spec.cascade
+    regions = int(params.get("regions", 2))
+    if regions < 1:
+        raise ValueError("a cascade needs at least one region")
+    per = params.get("clients_per_region", 2)
+    if isinstance(per, (list, tuple)):
+        sizes = [int(n) for n in per]
+        if len(sizes) != regions:
+            raise ValueError("clients_per_region list must have one entry per region")
+    else:
+        sizes = [int(per)] * regions
+    if any(n < 1 for n in sizes):
+        raise ValueError("every cascade region needs at least one client")
+    return sizes
+
+
+def compile_cascade_plan(spec: ScenarioSpec) -> CascadePlan:
+    """Compile a spec's cascade axis into a concrete :class:`CascadePlan`.
+
+    Nodes are named ``R0..R{n-1}``; clients keep the scenario convention
+    ``C1..Cn`` assigned region by region, so the measured client ``C1`` is
+    always homed in region 0.
+    """
+    assert spec.cascade is not None
+    kind, _ = spec.cascade
+    sizes = _cascade_region_sizes(spec)
+    regions = []
+    next_client = 1
+    for index, size in enumerate(sizes):
+        clients = tuple(f"C{i}" for i in range(next_client, next_client + size))
+        next_client += size
+        regions.append(CascadeRegion(node=f"R{index}", clients=clients))
+    n = len(regions)
+    if kind == "chain":
+        trunks = tuple((f"R{i}", f"R{i + 1}") for i in range(n - 1))
+    elif kind == "mesh":
+        trunks = tuple(
+            (f"R{i}", f"R{j}") for i in range(n) for j in range(i + 1, n)
+        )
+    else:  # star-of-stars: region 0 is the hub
+        trunks = tuple((f"R{0}", f"R{i}") for i in range(1, n))
+    return CascadePlan(regions=tuple(regions), trunks=trunks)
+
+
 # ------------------------------------------------------------- resolvers
+def resolve_trace_path(pack: str, direction: str) -> Path:
+    """Path of one committed trace-pack file (``traces/{pack}-{dir}.pps``)."""
+    if direction not in ("up", "down"):
+        raise ValueError(f"trace direction must be up/down, got {direction!r}")
+    path = TRACES_DIR / f"{pack}-{direction}.pps"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"trace pack file {path} not found; committed packs: "
+            f"{sorted(p.name for p in TRACES_DIR.glob('*.pps')) if TRACES_DIR.exists() else []}"
+        )
+    return path
+
+
 def _build_profile(
-    spec: tuple[str, Mapping[str, Any]], horizon_s: float, seed: int
+    spec: tuple[str, Mapping[str, Any]],
+    horizon_s: float,
+    seed: int,
+    direction: Optional[str] = None,
 ) -> BandwidthProfile:
     kind, params = spec
     if kind == "constant":
@@ -132,6 +236,17 @@ def _build_profile(
             drop_at_s=float(params.get("drop_at_s", 60.0)),
             duration_s=float(params.get("duration_s", 30.0)),
         )
+    if kind == "trace":
+        # A committed trace pack: Mahimahi packet-delivery format, resolved
+        # by pack name and shaped-link direction from ``traces/`` at the
+        # repository root.  Unlike "mahimahi" (arbitrary path), the content
+        # is versioned with the code, so results stay reproducible.
+        trace_direction = str(params.get("direction", direction or "up"))
+        path = resolve_trace_path(str(params["pack"]), trace_direction)
+        trace = load_mahimahi(path, bin_s=float(params.get("bin_s", 0.2)))
+        if "mean_mbps" in params:
+            trace = trace.scaled_to_mean(float(params["mean_mbps"]) * 1e6)
+        return trace.to_profile(duration_s=horizon_s)
     if kind == "mahimahi":
         trace = load_mahimahi(params["path"], bin_s=float(params.get("bin_s", 0.2)))
         if "mean_mbps" in params:
@@ -222,11 +337,13 @@ class ScenarioRun:
     spec: ScenarioSpec
     call: Call
     capture: PacketCapture
-    topology: AccessTopology
+    topology: Union[AccessTopology, CascadeTopology]
     start_s: float
     end_s: float
     #: (time, queueing-delay estimate) samples of each shaped direction.
     queue_delay_samples: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    #: Compiled cascade plan (None for classic single-server scenarios).
+    plan: Optional[CascadePlan] = None
 
     def steady_window(self) -> tuple[float, float]:
         start = self.start_s + WARMUP_S
@@ -293,7 +410,7 @@ class ScenarioRun:
         link_stats = [link.stats for link in self._shaped_links()]
         offered = sum(s.packets_sent + s.packets_dropped for s in link_stats)
         undelivered = sum(s.packets_dropped + s.packets_lost_random for s in link_stats)
-        return {
+        payload = {
             "median_up_mbps": up.median_mbps(*window),
             "median_down_mbps": down.median_mbps(*window),
             "mean_up_mbps": up.mean_mbps(*window),
@@ -310,6 +427,103 @@ class ScenarioRun:
             "mean_queue_delay_s": float(np.mean(delays)) if delays else 0.0,
             "p95_queue_delay_s": float(np.percentile(delays, 95)) if delays else 0.0,
         }
+        if self.plan is not None:
+            payload.update(self._cascade_metrics(duration))
+        return payload
+
+    def _freeze_ratio_of(self, client_name: str, duration: float) -> float:
+        client = self.call.client(client_name)
+        freeze = sum(
+            receiver.freeze_tracker.total_freeze_s
+            for receiver in client.receivers.values()
+            if receiver.freeze_tracker is not None
+        )
+        return min(freeze / duration, 1.0) if duration > 0 else 0.0
+
+    def _cascade_metrics(self, duration: float) -> dict[str, float]:
+        """Per-region freeze ratios and trunk-link aggregates.
+
+        ``cascade_freeze_ratio_R{k}`` averages the freeze ratio of region
+        ``k``'s clients; ``cascade_freeze_gap`` is the worst far region minus
+        region 0, the directional "a lossy trunk hurts the far side more"
+        signal the trunk-impairment gates score.
+        """
+        assert self.plan is not None
+        topo = self.topology
+        assert isinstance(topo, CascadeTopology)
+        payload: dict[str, float] = {}
+        region_ratios: list[float] = []
+        for index, region in enumerate(self.plan.regions):
+            ratios = [self._freeze_ratio_of(name, duration) for name in region.clients]
+            ratio = float(np.mean(ratios)) if ratios else 0.0
+            payload[f"cascade_freeze_ratio_R{index}"] = ratio
+            region_ratios.append(ratio)
+        if len(region_ratios) > 1:
+            payload["cascade_freeze_gap"] = max(region_ratios[1:]) - region_ratios[0]
+        trunk_stats = [link.stats for link in topo.trunk_links.values()]
+        offered = sum(s.packets_sent + s.packets_dropped for s in trunk_stats)
+        undelivered = sum(s.packets_dropped + s.packets_lost_random for s in trunk_stats)
+        payload["trunk_tx_loss_rate"] = undelivered / offered if offered else 0.0
+        payload["trunk_bytes_sent"] = float(sum(s.bytes_sent for s in trunk_stats))
+        payload["trunk_mean_mbps"] = (
+            sum(s.bytes_sent for s in trunk_stats) * 8.0 / duration / 1e6 / len(trunk_stats)
+            if duration > 0 and trunk_stats
+            else 0.0
+        )
+        return payload
+
+
+def _apply_trunk_conditions(
+    topo: CascadeTopology,
+    plan: CascadePlan,
+    spec: ScenarioSpec,
+    seed: int,
+    horizon_s: float,
+) -> None:
+    """Shape/impair every directed trunk from the spec's ``trunk`` sub-spec.
+
+    ``impair_direction: "forward"`` conditions only the ``a -> b`` direction
+    of each trunk edge as listed in the plan (the "away from region 0" side
+    for star/chain cascades), ``"both"`` (default) conditions both.  Each
+    directed trunk gets its own RNG streams via the ``_TRUNK_*`` seed
+    offsets plus its index.
+    """
+    assert spec.cascade is not None
+    trunk = spec.cascade[1].get("trunk") or {}
+    impair_direction = str(trunk.get("impair_direction", "both"))
+    if impair_direction not in ("forward", "both"):
+        raise ValueError(
+            f"trunk impair_direction must be forward/both, got {impair_direction!r}"
+        )
+    directed: list[tuple[str, str]] = []
+    for a, b in plan.trunks:
+        directed.append((a, b))
+        if impair_direction == "both":
+            directed.append((b, a))
+    profile_spec = trunk.get("profile")
+    loss_spec = trunk.get("loss")
+    jitter_spec = trunk.get("jitter")
+    aqm_spec = trunk.get("aqm")
+    for index, (src, dst) in enumerate(directed):
+        if profile_spec is not None:
+            topo.shape_trunk(
+                src,
+                dst,
+                _build_profile(profile_spec, horizon_s, seed + _TRUNK_PROFILE_SEED + index),
+                both=False,
+            )
+        if loss_spec or jitter_spec or aqm_spec:
+            topo.impair_trunk(
+                src,
+                dst,
+                loss_model=_build_loss(loss_spec, seed + _TRUNK_LOSS_SEED + index)
+                if loss_spec
+                else None,
+                jitter_model=_build_jitter(jitter_spec, seed + _TRUNK_JITTER_SEED + index)
+                if jitter_spec
+                else None,
+                aqm=_build_aqm(aqm_spec) if aqm_spec else None,
+            )
 
 
 def run_scenario(
@@ -323,13 +537,25 @@ def run_scenario(
     duration = float(duration_s) if duration_s is not None else spec.duration_s
     sim = Simulator(seed=seed)
     names = [f"C{i}" for i in range(1, spec.participants + 1)]
-    topo = build_access_topology(sim, client_names=names)
     horizon = CALL_START_S + duration + 5.0
+
+    plan: Optional[CascadePlan] = None
+    topo: Union[AccessTopology, CascadeTopology]
+    if spec.cascade is not None:
+        plan = compile_cascade_plan(spec)
+        trunk_params = spec.cascade[1].get("trunk") or {}
+        topo = build_cascade_topology(
+            sim,
+            plan,
+            trunk_delay_s=float(trunk_params.get("delay_s", DEFAULT_TRUNK_DELAY_S)),
+        )
+    else:
+        topo = build_access_topology(sim, client_names=names)
 
     profiles: dict[str, BandwidthProfile] = {}
     for offset, direction in enumerate(spec.directions):
         profiles[direction] = _build_profile(
-            spec.profile, horizon, seed + _PROFILE_SEED + offset
+            spec.profile, horizon, seed + _PROFILE_SEED + offset, direction=direction
         )
     topo.shape(up_profile=profiles.get("up"), down_profile=profiles.get("down"))
     for offset, direction in enumerate(spec.directions):
@@ -341,6 +567,8 @@ def run_scenario(
             else None,
             aqm=_build_aqm(spec.aqm) if spec.aqm else None,
         )
+    if plan is not None:
+        _apply_trunk_conditions(topo, plan, spec, seed, horizon)
 
     capture = PacketCapture(sim)
     capture.attach(topo.host("C1"))
@@ -349,8 +577,12 @@ def run_scenario(
     call = Call(
         sim,
         [topo.host(name) for name in names],
-        topo.host("S"),
+        topo.host("S") if plan is None else topo.host(plan.nodes[0]),
         CallConfig(vca=spec.vca, seed=seed, view_mode=view_mode, collect_stats=collect_stats),
+        cascade=plan,
+        cascade_hosts=(
+            {node: topo.host(node) for node in plan.nodes} if plan is not None else None
+        ),
     )
     orchestrator = CallOrchestrator(sim)
     end_s = CALL_START_S + duration
@@ -376,6 +608,7 @@ def run_scenario(
         start_s=CALL_START_S,
         end_s=end_s,
         queue_delay_samples=queue_samples,
+        plan=plan,
     )
 
 
@@ -512,6 +745,82 @@ def _register_builtin_packs() -> None:
         description="Five-party Meet gallery call with a LEO-satellite downlink",
         vca="meet", participants=5, direction="down",
         profile=("leo", {"mean_mbps": 10.0}), tags=beyond,
+    ))
+    register_scenario(ScenarioSpec(
+        name="verizon-lte-uplink-zoom",
+        description="Zoom uplink over the committed Verizon-LTE Mahimahi trace pack",
+        vca="zoom", direction="up",
+        profile=("trace", {"pack": "verizon-lte", "mean_mbps": 2.5}),
+        tags=beyond + ("trace-pack",),
+    ))
+
+    # Cascade pack: the same call fabric over geo-distributed SFU cascades.
+    cascade = ("beyond-paper", "cascade")
+    register_scenario(ScenarioSpec(
+        name="cascade/2region-lte-trunk-zoom",
+        description="Two-region Zoom cascade whose inter-region trunk rides a "
+                    "synthetic LTE capacity process (mean 3 Mbps)",
+        vca="zoom",
+        cascade=("star", {
+            "regions": 2, "clients_per_region": 3,
+            "trunk": {"profile": ("lte", {"mean_mbps": 3.0})},
+        }),
+        tags=cascade,
+    ))
+    register_scenario(ScenarioSpec(
+        name="cascade/3region-chain-meet",
+        description="Three-region Meet chain cascade with clean 40 ms trunks "
+                    "(baseline for the trunk-impairment cells)",
+        vca="meet",
+        cascade=("chain", {"regions": 3, "clients_per_region": 2}),
+        tags=cascade,
+    ))
+    register_scenario(ScenarioSpec(
+        name="cascade/trunk-codel-zoom",
+        description="Two-region Zoom cascade over a 1.2 Mbps trunk policed by CoDel",
+        vca="zoom",
+        cascade=("star", {
+            "regions": 2, "clients_per_region": 2,
+            "trunk": {"profile": ("constant", {"mbps": 1.2}), "aqm": ("codel", {})},
+        }),
+        tags=cascade,
+    ))
+    register_scenario(ScenarioSpec(
+        name="cascade/trunk-droptail-zoom",
+        description="Two-region Zoom cascade over a 1.2 Mbps drop-tail trunk "
+                    "(control for cascade/trunk-codel-zoom)",
+        vca="zoom",
+        cascade=("star", {
+            "regions": 2, "clients_per_region": 2,
+            "trunk": {"profile": ("constant", {"mbps": 1.2})},
+        }),
+        tags=cascade + ("control",),
+    ))
+    register_scenario(ScenarioSpec(
+        name="cascade/trunk-outage-meet",
+        description="Two-region Meet cascade whose trunk collapses to 0.1 Mbps "
+                    "for 30 s one minute in (inter-region disruption)",
+        vca="meet",
+        cascade=("star", {
+            "regions": 2, "clients_per_region": 2,
+            "trunk": {"profile": ("disruption",
+                                  {"drop_to_mbps": 0.1, "drop_at_s": 60.0, "duration_s": 30.0})},
+        }),
+        tags=cascade,
+    ))
+    register_scenario(ScenarioSpec(
+        name="cascade/lossy-trunk-far-freeze-zoom",
+        description="Two-region Zoom cascade with bursty loss on the forward "
+                    "(R0 -> R1) trunk only: far-region viewers freeze, near ones do not",
+        vca="zoom",
+        cascade=("star", {
+            "regions": 2, "clients_per_region": 2,
+            "trunk": {
+                "loss": ("gilbert_elliott", {"mean_loss": 0.06, "mean_burst_packets": 12}),
+                "impair_direction": "forward",
+            },
+        }),
+        tags=cascade,
     ))
 
 

@@ -21,6 +21,7 @@ from repro.net.node import Host
 from repro.net.simulator import Simulator
 from repro.vca.base import VCAClient
 from repro.vca.registry import get_profile
+from repro.vca.sfu import CascadeControl, CascadePlan, SfuNode
 from repro.vca.server import MediaServer
 
 __all__ = ["CallConfig", "Call"]
@@ -62,6 +63,8 @@ class Call:
         server_host: Host,
         config: Optional[CallConfig] = None,
         codec: Optional[CodecModel] = None,
+        cascade: Optional[CascadePlan] = None,
+        cascade_hosts: Optional[dict[str, Host]] = None,
     ) -> None:
         if len(participants) < 2:
             raise ValueError("a call needs at least two participants")
@@ -70,6 +73,14 @@ class Call:
         self.codec = codec or CodecModel()
         self.participant_names = tuple(host.name for host in participants)
         self.server_host = server_host
+        self.cascade = cascade
+        if cascade is not None:
+            if self.config.polled:
+                raise ValueError("cascaded calls require the event-driven pipeline")
+            if set(cascade.clients) != set(self.participant_names):
+                raise ValueError("cascade plan clients must match call participants")
+            if cascade_hosts is None or set(cascade_hosts) != set(cascade.nodes):
+                raise ValueError("cascade_hosts must map every cascade node to a Host")
 
         # Every client gets its own profile instance so per-client draws
         # (Teams' nominal-rate variance, Teams-Chrome's encoder variability)
@@ -81,7 +92,11 @@ class Call:
                 sim=sim,
                 host=host,
                 profile=profile,
-                server_name=server_host.name,
+                # In a cascade a client talks only to its regional node; the
+                # cascade forwards across trunks on its behalf.
+                server_name=(
+                    cascade.node_of(host.name) if cascade is not None else server_host.name
+                ),
                 call_id=self.config.call_id,
                 codec=self.codec,
                 seed=self.config.seed + index,
@@ -90,14 +105,34 @@ class Call:
             )
             self.clients[host.name] = client
 
-        server_profile = get_profile(self.config.vca, seed=self.config.seed + 1000)
-        self.server = MediaServer(
-            sim,
-            server_host,
-            server_profile,
-            call_id=self.config.call_id,
-            polled=self.config.polled,
-        )
+        #: All SFU nodes of the call, keyed by node id (one entry for the
+        #: classic single-server call).
+        self.nodes: dict[str, SfuNode] = {}
+        self.control: Optional[CascadeControl] = None
+        if cascade is None:
+            server_profile = get_profile(self.config.vca, seed=self.config.seed + 1000)
+            self.server = MediaServer(
+                sim,
+                server_host,
+                server_profile,
+                call_id=self.config.call_id,
+                polled=self.config.polled,
+            )
+            self.nodes[server_host.name] = self.server
+        else:
+            self.control = CascadeControl(cascade)
+            for offset, node_id in enumerate(cascade.nodes):
+                node_profile = get_profile(
+                    self.config.vca, seed=self.config.seed + 1000 + offset
+                )
+                self.nodes[node_id] = SfuNode(
+                    sim,
+                    cascade_hosts[node_id],
+                    node_profile,
+                    call_id=self.config.call_id,
+                    control=self.control,
+                )
+            self.server = self.nodes[cascade.nodes[0]]
 
         self._started = False
 
@@ -107,9 +142,12 @@ class Call:
         if self._started:
             return
         self._started = True
-        self.server.start()
+        for node in self.nodes.values():
+            node.start()
         for name in self.participant_names:
-            self.server.add_participant(name)
+            home = self.control.home_of(name) if self.control is not None else None
+            node = self.nodes[home] if home is not None else self.server
+            node.add_participant(name)
         for sender in self.participant_names:
             for receiver in self.participant_names:
                 if sender != receiver:
@@ -130,7 +168,8 @@ class Call:
         self._started = False
         for client in self.clients.values():
             client.leave()
-        self.server.stop()
+        for node in self.nodes.values():
+            node.stop()
 
     # ------------------------------------------------------------ call control
     def client(self, name: str) -> VCAClient:

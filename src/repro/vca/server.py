@@ -1,784 +1,15 @@
-"""Media servers: SFU copy selection, SVC layer relay (+FEC) and plain relay.
+"""Backwards-compatible import path for the media server.
 
-All three VCAs the paper studies route media through an intermediary server
-even for two-party calls (Section 3.1/4.2); what the server *does* differs
-and explains most of the downlink-side findings:
-
-* **Meet (``sfu_simulcast``)** -- the server terminates each sender's
-  simulcast copies and forwards, per receiver, the single copy that fits that
-  receiver's estimated downlink (with frame thinning when the top copy is a
-  little too big).  Switching copies is cheap, hence Meet's sub-ten-second
-  downlink recovery (Figure 5) and its utilization floor at the lowest copy's
-  bitrate when the downlink is severely constrained (Figure 1b).
-
-* **Zoom (``svc_relay``)** -- the server forwards a per-receiver subset of the
-  SVC layers and regenerates FEC for the downstream leg (the patent the paper
-  cites), which is why Zoom's downstream utilization exceeds its upstream
-  (Table 2) and why it tracks the available downlink closely.
-
-* **Teams (``plain_relay``)** -- the server forwards everything and merely
-  relays the receiver's RTCP feedback to the sender, so all adaptation is
-  sender-side and recovery from downlink disruptions requires end-to-end
-  probing (Figure 5b, Figure 6).
+The server grew into the :mod:`repro.vca.sfu` package: subscription state
+and layer policies in :mod:`repro.vca.sfu.state`, the forwarding plane in
+:mod:`repro.vca.sfu.node` (where ``MediaServer`` is now an alias of the
+composable :class:`~repro.vca.sfu.node.SfuNode`), and the cascade control
+plane in :mod:`repro.vca.sfu.cascade`.  Existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from repro.vca.sfu.node import MediaServer, SfuNode
+from repro.vca.sfu.state import ParticipantState, _LayerMeter
 
-from repro.calibrate.constants import active_constants
-from repro.cc.base import FeedbackReport
-from repro.cc.gcc import GCCController
-from repro.media.codec import Resolution
-from repro.net.node import Host
-from repro.net.packet import Packet, PacketKind
-from repro.net.simulator import PeriodicTask, Simulator
-from repro.rtp.jitter import LegacyStreamReceiver, StreamReceiver
-from repro.rtp.rtcp import extract_report, is_fir, make_fir_packet, make_report_packet
-from repro.rtp.sip import SignalingMessage, SignalKind, extract_signal, send_signal
-from repro.vca.base import VCAProfile, downlink_flow, uplink_flow
-
-__all__ = ["MediaServer", "ParticipantState"]
-
-
-@dataclass
-class _LayerMeter:
-    """EWMA bitrate of one layer of one sender's uplink stream."""
-
-    bytes_in_window: int = 0
-    rate_bps: float = 0.0
-
-    def roll(self, interval_s: float, smoothing: float = 0.4) -> None:
-        instantaneous = self.bytes_in_window * 8 / max(interval_s, 1e-6)
-        if self.rate_bps == 0.0:
-            self.rate_bps = instantaneous
-        else:
-            self.rate_bps = (1 - smoothing) * self.rate_bps + smoothing * instantaneous
-        self.bytes_in_window = 0
-
-
-@dataclass
-class ParticipantState:
-    """Everything the server tracks about one call participant."""
-
-    name: str
-    #: Receiver-side state of this participant's uplink stream (loss/delay
-    #: observations the server reports back to the sender).
-    uplink_receiver: Optional[StreamReceiver] = None
-    #: The server's estimate of this participant's *downlink* capacity,
-    #: driven by the RTCP reports the participant sends about the streams it
-    #: receives.  Used to select simulcast copies / SVC layers.
-    downlink_estimator: Optional[GCCController] = None
-    #: Last RTCP report per forwarded stream (keyed by original sender).
-    last_reports: dict[str, FeedbackReport] = field(default_factory=dict)
-    #: Tiles this participant currently displays: sender -> requested resolution.
-    layout: dict[str, Resolution] = field(default_factory=dict)
-    #: Viewing mode ("gallery" / "speaker").
-    view_mode: str = "gallery"
-    #: Measured per-layer uplink bitrates of this participant's stream.
-    layer_meters: dict[str, _LayerMeter] = field(default_factory=dict)
-    #: Flat per-layer byte accumulator for the current metering window.  The
-    #: per-packet path does one dict add here; the bytes are rolled into
-    #: :attr:`layer_meters` (EWMA) on demand at each feedback tick.
-    layer_bytes: dict[str, int] = field(default_factory=dict)
-    #: Current forwarding decision toward each receiver: receiver ->
-    #: (set of layers to forward, keep-probability of the top forwarded layer).
-    forwarding: dict[str, tuple[set[str], float]] = field(default_factory=dict)
-
-
-#: Order of SVC layers from base to top (must match repro.media.svc defaults).
-_SVC_LAYER_ORDER = ("base", "mid", "top")
-#: Order of simulcast copies from low to high (must match repro.media.simulcast).
-_SIMULCAST_ORDER = ("low", "high")
-
-
-class MediaServer:
-    """The call's media server (SFU / SVC relay / plain relay)."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        host: Host,
-        profile: VCAProfile,
-        call_id: str = "call",
-        polled: bool = False,
-    ) -> None:
-        self.sim = sim
-        self.host = host
-        self.profile = profile
-        self.call_id = call_id
-        #: Mirror of the clients' pipeline mode: in polled (PR 1 replica)
-        #: mode the server's uplink receivers keep the original per-packet
-        #: stale-frame scan so the benchmark baseline stays faithful.
-        self.polled = polled
-        self.participants: dict[str, ParticipantState] = {}
-        self.bytes_forwarded = 0
-        self.fec_bytes_added = 0
-        self.probe_bytes_sent = 0
-        self._fec_rng = sim.rng
-        self._task: Optional[PeriodicTask] = None
-        self._last_probe_at: dict[str, float] = {}
-        #: Per-(sender, receiver) RTP sequence counters for forwarded media.
-        #: Selective forwarding (dropping copies, layers or thinned frames)
-        #: would otherwise leave gaps in the original sequence space that the
-        #: receiver would misread as network loss; real SFUs rewrite the RTP
-        #: sequence numbers for exactly this reason.  Counters are one-element
-        #: lists so cached dispatch plans can bump them without a dict lookup
-        #: per packet (and they survive plan invalidation).
-        self._forward_seq: dict[tuple[str, str], list[int]] = {}
-        #: Cached forwarding plans keyed by ``(sender, layer)`` (``None`` for
-        #: audio): the per-receiver dispatch decision resolved once and
-        #: invalidated on layout / membership / forwarding-decision changes
-        #: instead of being recomputed for every packet.  Each video entry is
-        #: ``(receiver, keep_probability, downlink_flow_id, seq_key)``.
-        self._forward_plans: dict[tuple[str, Optional[str]], list] = {}
-        #: Uplink flow id -> participant state, so the per-train dispatch
-        #: skips the flow-id string parse (invalidated with the plans).
-        self._state_by_flow: dict[str, ParticipantState] = {}
-        #: Interval between downlink bandwidth probes toward an
-        #: application-limited receiver (the emulated ALR probing).
-        self.probe_interval_s = 3.0
-        host.set_default_handler(self.on_packet, batch_handler=self.on_packet_batch)
-
-    # ------------------------------------------------------------ lifecycle
-    def start(self) -> None:
-        """Begin the periodic feedback / forwarding-decision loop."""
-        if self._task is None:
-            self._task = self.sim.every(self.profile.feedback_interval_s, self._feedback_tick)
-
-    def stop(self) -> None:
-        if self._task is not None:
-            self._task.stop()
-            self._task = None
-
-    def add_participant(self, name: str) -> ParticipantState:
-        """Register a participant (idempotent)."""
-        state = self.participants.get(name)
-        if state is not None:
-            return state
-        state = ParticipantState(name=name)
-        receiver_cls = LegacyStreamReceiver if self.polled else StreamReceiver
-        state.uplink_receiver = receiver_cls(
-            self.sim,
-            uplink_flow(name, self.call_id),
-            track_quality=False,
-        )
-        # The per-receiver estimator: GCC with a wider receive-rate cap and a
-        # low floor, standing in for the probing an SFU performs to discover
-        # downlink headroom while it is application-limited on a cheap copy.
-        # Zoom's relay is markedly less delay-sensitive than Meet's SFU: its
-        # FEC lets it ride out queueing and loss, so its estimate follows the
-        # loss-based leg of the shared BWE -- the source of Zoom's
-        # aggressiveness against TCP and other VCAs on the downlink
-        # (Section 5).  Both estimator parameterisations come from the
-        # jointly calibrated competition constants (repro.calibrate): the
-        # same constants must satisfy Figures 8, 10, 12 and 14 at once.
-        constants = active_constants()
-        if self.profile.architecture == "svc_relay":
-            estimator_config = constants.zoom_relay_estimator_config()
-        else:
-            estimator_config = constants.meet_relay_estimator_config()
-        state.downlink_estimator = GCCController(estimator_config)
-        self.participants[name] = state
-        self._forward_plans.clear()
-        self._state_by_flow.clear()
-        return state
-
-    def remove_participant(self, name: str) -> None:
-        self.participants.pop(name, None)
-        self._forward_plans.clear()
-        self._state_by_flow.clear()
-
-    # ------------------------------------------------------------ data path
-    def on_packet(self, packet: Packet) -> None:
-        """Dispatch every packet arriving at the server host."""
-        if packet.kind is PacketKind.SIGNALING:
-            self._on_signal(packet)
-            return
-        if packet.kind is PacketKind.RTCP:
-            self._on_rtcp(packet)
-            return
-        if packet.kind in (PacketKind.RTP_VIDEO, PacketKind.RTP_AUDIO, PacketKind.FEC):
-            # Media arriving one packet at a time (e.g. through the measured
-            # client's shaped link): the event-driven server still resolves
-            # the forwarding decision from the cached dispatch plans; the
-            # polled escape hatch keeps the original per-packet path.
-            if self.polled:
-                self._on_media(packet)
-            else:
-                self._on_media_batch((packet,))
-            return
-
-    # ------------------------------------------------------------ signalling
-    def _on_signal(self, packet: Packet) -> None:
-        message = extract_signal(packet)
-        if message is None:
-            return
-        if message.kind is SignalKind.INVITE:
-            self.add_participant(message.sender)
-        elif message.kind is SignalKind.BYE:
-            self.remove_participant(message.sender)
-        elif message.kind is SignalKind.LAYOUT_UPDATE:
-            state = self.add_participant(message.sender)
-            tiles = message.payload.get("tiles", {})
-            state.layout = {
-                sender: Resolution(int(w), int(h)) for sender, (w, h) in tiles.items()
-            }
-            state.view_mode = message.payload.get("mode", "gallery")
-            self._forward_plans.clear()
-            self._recompute_uplink_caps()
-
-    def _recompute_uplink_caps(self) -> None:
-        """Tell every sender the largest resolution anyone displays it at.
-
-        This is the signalling path that produces the uplink reductions at
-        five (Zoom) and seven (Meet) participants and the speaker-mode uplink
-        increase of Figure 15c.
-        """
-        n_participants = len(self.participants)
-        for sender in self.participants:
-            best: Optional[Resolution] = None
-            pinned = False
-            for receiver, state in self.participants.items():
-                if receiver == sender:
-                    continue
-                requested = state.layout.get(sender)
-                if requested is None:
-                    continue
-                if state.view_mode == "speaker" and requested.width >= 1280:
-                    pinned = True
-                if best is None or requested.pixels > best.pixels:
-                    best = requested
-            if best is None:
-                continue
-            send_signal(
-                self.host,
-                sender,
-                SignalingMessage(
-                    kind=SignalKind.LAYER_REQUEST,
-                    sender=self.host.name,
-                    payload={
-                        "width": best.width,
-                        "height": best.height,
-                        "pinned": pinned,
-                        "participants": n_participants,
-                    },
-                ),
-            )
-
-    # --------------------------------------------------------------- RTCP
-    def _on_rtcp(self, packet: Packet) -> None:
-        flow = packet.flow_id
-        # Reports/FIRs from receivers concern flows named
-        # ``{call}:down:{sender}>{receiver}:rtcp``.
-        if ":down:" not in flow:
-            return
-        stream_part = flow.split(":down:", 1)[1].rsplit(":rtcp", 1)[0]
-        sender_name, _, receiver_name = stream_part.partition(">")
-        if is_fir(packet):
-            # Ask the original sender for a keyframe regardless of architecture.
-            fir = make_fir_packet(
-                f"{uplink_flow(sender_name, self.call_id)}:rtcp",
-                self.host.name,
-                sender_name,
-                self.sim.now,
-            )
-            self.host.send(fir)
-            return
-        report = extract_report(packet)
-        if report is None:
-            return
-        receiver_state = self.participants.get(receiver_name)
-        if receiver_state is None:
-            return
-        receiver_state.last_reports[sender_name] = report
-        if self.profile.server_adapts:
-            aggregate = self._aggregate_reports(receiver_state)
-            if aggregate is not None:
-                receiver_state.downlink_estimator.on_feedback(aggregate, self.sim.now)
-        else:
-            # Plain relay: hand the end-to-end report to the original sender.
-            relayed = make_report_packet(
-                f"{uplink_flow(sender_name, self.call_id)}:rtcp",
-                self.host.name,
-                sender_name,
-                report,
-                self.sim.now,
-            )
-            self.host.send(relayed)
-
-    @staticmethod
-    def _aggregate_reports(state: ParticipantState) -> Optional[FeedbackReport]:
-        if not state.last_reports:
-            return None
-        reports = list(state.last_reports.values())
-        return FeedbackReport(
-            timestamp=max(r.timestamp for r in reports),
-            interval_s=max(r.interval_s for r in reports),
-            receive_rate_bps=sum(r.receive_rate_bps for r in reports),
-            loss_fraction=max(r.loss_fraction for r in reports),
-            queueing_delay_s=max(r.queueing_delay_s for r in reports),
-            delay_gradient_s=max(r.delay_gradient_s for r in reports),
-            rtt_s=max(r.rtt_s for r in reports),
-            packets_expected=sum(r.packets_expected for r in reports),
-            packets_received=sum(r.packets_received for r in reports),
-        )
-
-    # --------------------------------------------------------------- media
-    def _on_media(self, packet: Packet) -> None:
-        sender_name = packet.flow_id.split(":up:", 1)[-1]
-        state = self.participants.get(sender_name)
-        if state is None:
-            return
-        if state.uplink_receiver is not None:
-            state.uplink_receiver.on_packet(packet)
-        meta = packet._meta
-        layer = meta.get("layer", "main") if meta is not None else "main"
-        if packet.kind is PacketKind.RTP_VIDEO:
-            layer_bytes = state.layer_bytes
-            layer_bytes[layer] = layer_bytes.get(layer, 0) + packet.size_bytes
-
-        for receiver_name, receiver_state in self.participants.items():
-            if receiver_name == sender_name:
-                continue
-            if receiver_state.layout and sender_name not in receiver_state.layout:
-                # The receiver does not display this sender (e.g. beyond
-                # Teams' four visible tiles): nothing is forwarded.
-                continue
-            if not self._should_forward(state, receiver_name, packet):
-                continue
-            # PR 1 replica path: construct the copy the way the original
-            # per-packet pipeline did (constructor + per-copy metadata dict),
-            # so the polled baseline keeps its original cost profile.
-            forwarded = Packet(
-                size_bytes=packet.size_bytes,
-                flow_id=downlink_flow(sender_name, receiver_name, self.call_id),
-                src=self.host.name,
-                dst=receiver_name,
-                kind=packet.kind,
-                seq=packet.seq,
-                created_at=packet.created_at,
-                meta=dict(meta) if meta else None,
-            )
-            if packet.kind is PacketKind.RTP_VIDEO:
-                key = (sender_name, receiver_name)
-                cell = self._forward_seq.get(key)
-                if cell is None:
-                    cell = self._forward_seq[key] = [0]
-                cell[0] = seq = cell[0] + 1
-                forwarded.seq = seq
-            self.bytes_forwarded += forwarded.size_bytes
-            self.host.send(forwarded)
-            if (
-                self.profile.server_fec_ratio > 0
-                and packet.kind is PacketKind.RTP_VIDEO
-                and self._fec_rng.random() < self.profile.server_fec_ratio
-            ):
-                repair = Packet(
-                    size_bytes=forwarded.size_bytes,
-                    flow_id=forwarded.flow_id,
-                    src=self.host.name,
-                    dst=receiver_name,
-                    kind=PacketKind.FEC,
-                    seq=1_000_000 + packet.seq,
-                    created_at=self.sim.now,
-                    meta={"fec_group": packet.meta.get("frame_id", 0)},
-                )
-                self.fec_bytes_added += repair.size_bytes
-                self.host.send(repair)
-
-    def on_packet_batch(self, packets) -> None:
-        """Dispatch a packet train arriving at the server host in one call.
-
-        Trains produced by the media pipeline contain only media/FEC packets
-        of a single uplink flow; anything else falls back to per-packet
-        dispatch.
-        """
-        kind = packets[0].kind
-        if kind in (PacketKind.RTP_VIDEO, PacketKind.RTP_AUDIO, PacketKind.FEC):
-            self._on_media_batch(packets)
-            return
-        for packet in packets:
-            self.on_packet(packet)
-
-    def _on_media_batch(self, packets) -> None:
-        """Forward a whole uplink packet train using the cached dispatch plans.
-
-        Per-packet semantics (metering, sequence rewrite, thinning, server
-        FEC draws in arrival x receiver order) are identical to calling
-        :meth:`_on_media` per packet; the difference is that the forwarding
-        decision comes from :meth:`_video_plan` / :meth:`_audio_plan` and the
-        per-receiver copies leave the host as one train each.
-        """
-        flow = packets[0].flow_id
-        state = self._state_by_flow.get(flow)
-        if state is None:
-            sender_name = flow.split(":up:", 1)[-1]
-            state = self.participants.get(sender_name)
-            if state is None:
-                return
-            self._state_by_flow[flow] = state
-        if state.uplink_receiver is not None:
-            state.uplink_receiver.on_packet_batch(packets)
-        host_name = self.host.name
-        layer_bytes = state.layer_bytes
-        server_fec = self.profile.server_fec_ratio
-        fec_rng = self.sim.rng if server_fec > 0 else None
-        rtp_video = PacketKind.RTP_VIDEO
-        rtp_audio = PacketKind.RTP_AUDIO
-        now = self.sim._now
-        bytes_forwarded = 0
-        fec_bytes = 0
-        outbound: dict[str, list] = {}
-        plan_layer: Optional[str] = None
-        plan: list = []
-        for packet in packets:
-            kind = packet.kind
-            if kind is rtp_audio:
-                size = packet.size_bytes
-                for receiver, flow_id in self._audio_plan(state):
-                    forwarded = packet.copy_for_forwarding(
-                        src=host_name, dst=receiver, flow_id=flow_id
-                    )
-                    bytes_forwarded += size
-                    out = outbound.get(receiver)
-                    if out is None:
-                        out = outbound[receiver] = [0, []]
-                    out[0] += size
-                    out[1].append(forwarded)
-                continue
-            meta = packet._meta
-            layer = meta.get("layer", "main") if meta is not None else "main"
-            is_video = kind is rtp_video
-            if is_video:
-                layer_bytes[layer] = layer_bytes.get(layer, 0) + packet.size_bytes
-            if layer != plan_layer:
-                plan_layer = layer
-                plan = self._video_plan(state, layer)
-            for receiver, keep, flow_id, seq_cell in plan:
-                if keep < 1.0:
-                    # Frame-consistent thinning: drop whole frames of the top
-                    # forwarded layer, never individual fragments.
-                    frame_id = meta.get("frame_id", packet.seq) if meta is not None else packet.seq
-                    if not (frame_id * 2654435761 % 1000) / 1000.0 < keep:
-                        continue
-                forwarded = packet.copy_for_forwarding(
-                    src=host_name, dst=receiver, flow_id=flow_id
-                )
-                if is_video:
-                    seq_cell[0] = seq = seq_cell[0] + 1
-                    forwarded.seq = seq
-                size = forwarded.size_bytes
-                bytes_forwarded += size
-                out = outbound.get(receiver)
-                if out is None:
-                    out = outbound[receiver] = [0, []]
-                out[0] += size
-                out[1].append(forwarded)
-                if (
-                    fec_rng is not None
-                    and is_video
-                    and fec_rng.random() < server_fec
-                ):
-                    repair = Packet(
-                        size_bytes=size,
-                        flow_id=forwarded.flow_id,
-                        src=host_name,
-                        dst=receiver,
-                        kind=PacketKind.FEC,
-                        seq=1_000_000 + packet.seq,
-                        created_at=now,
-                        meta={"fec_group": meta.get("frame_id", 0) if meta is not None else 0},
-                    )
-                    fec_bytes += size
-                    out[0] += size
-                    out[1].append(repair)
-        self.bytes_forwarded += bytes_forwarded
-        self.fec_bytes_added += fec_bytes
-        host = self.host
-        for out in outbound.values():
-            host.send_forwarded_batch(out[1], out[0])
-
-    def _video_plan(self, state: ParticipantState, layer: str) -> list:
-        """Cached per-receiver dispatch decision for one sender layer.
-
-        Mirrors the layout check and :meth:`_should_forward` for video/FEC
-        packets; rebuilt lazily after any layout, membership or
-        forwarding-decision change.
-        """
-        key = (state.name, layer)
-        plan = self._forward_plans.get(key)
-        if plan is None:
-            plan = []
-            sender_name = state.name
-            adapts = self.profile.server_adapts
-            for receiver, receiver_state in self.participants.items():
-                if receiver == sender_name:
-                    continue
-                if receiver_state.layout and sender_name not in receiver_state.layout:
-                    continue
-                keep = 1.0
-                if adapts:
-                    layers, keep_probability = state.forwarding.get(receiver, (None, 1.0))
-                    if layers is not None:
-                        if layer not in layers:
-                            continue
-                        if keep_probability < 1.0 and layer == self._top_of(layers):
-                            keep = keep_probability
-                seq_key = (sender_name, receiver)
-                seq_cell = self._forward_seq.get(seq_key)
-                if seq_cell is None:
-                    seq_cell = self._forward_seq[seq_key] = [0]
-                plan.append(
-                    (
-                        receiver,
-                        keep,
-                        downlink_flow(sender_name, receiver, self.call_id),
-                        seq_cell,
-                    )
-                )
-            self._forward_plans[key] = plan
-        return plan
-
-    def _audio_plan(self, state: ParticipantState) -> list:
-        """Cached per-receiver dispatch for audio (always forwarded if displayed)."""
-        key = (state.name, None)
-        plan = self._forward_plans.get(key)
-        if plan is None:
-            plan = []
-            sender_name = state.name
-            for receiver, receiver_state in self.participants.items():
-                if receiver == sender_name:
-                    continue
-                if receiver_state.layout and sender_name not in receiver_state.layout:
-                    continue
-                plan.append((receiver, downlink_flow(sender_name, receiver, self.call_id)))
-            self._forward_plans[key] = plan
-        return plan
-
-    def _should_forward(self, sender_state: ParticipantState, receiver: str, packet: Packet) -> bool:
-        """Apply the per-architecture forwarding policy to one packet."""
-        if packet.kind is PacketKind.RTP_AUDIO:
-            return True
-        if not self.profile.server_adapts:
-            return True
-        layers, keep_probability = sender_state.forwarding.get(
-            receiver, (None, 1.0)
-        )
-        if layers is None:
-            return True
-        layer = packet.meta.get("layer", "main")
-        if layer not in layers:
-            return False
-        if keep_probability >= 1.0:
-            return True
-        top_layer = self._top_of(layers)
-        if layer != top_layer:
-            return True
-        # Frame-consistent thinning: drop whole frames of the top forwarded
-        # layer, never individual fragments.
-        frame_id = packet.meta.get("frame_id", packet.seq)
-        return (frame_id * 2654435761 % 1000) / 1000.0 < keep_probability
-
-    @staticmethod
-    def _top_of(layers: set[str]) -> str:
-        order = _SVC_LAYER_ORDER if "base" in layers or "mid" in layers else _SIMULCAST_ORDER
-        top = ""
-        for name in order:
-            if name in layers:
-                top = name
-        return top or (sorted(layers)[-1] if layers else "")
-
-    # ------------------------------------------------------ periodic control
-    def _feedback_tick(self) -> None:
-        interval = self.profile.feedback_interval_s
-        now = self.sim.now
-        for name, state in self.participants.items():
-            meters = state.layer_meters
-            layer_bytes = state.layer_bytes
-            if layer_bytes:
-                for layer, window_bytes in layer_bytes.items():
-                    meter = meters.get(layer)
-                    if meter is None:
-                        meter = meters[layer] = _LayerMeter()
-                    meter.bytes_in_window = window_bytes
-                layer_bytes.clear()
-            for meter in meters.values():
-                meter.roll(interval)
-            if self.profile.server_adapts and state.uplink_receiver is not None:
-                report = state.uplink_receiver.make_report(now)
-                packet = make_report_packet(
-                    f"{uplink_flow(name, self.call_id)}:rtcp",
-                    self.host.name,
-                    name,
-                    report,
-                    now,
-                )
-                self.host.send(packet)
-        if self.profile.server_adapts:
-            self._update_forwarding_decisions()
-            self._maybe_probe_downlinks()
-
-    def _update_forwarding_decisions(self) -> None:
-        for sender_name, sender_state in self.participants.items():
-            for receiver_name, receiver_state in self.participants.items():
-                if receiver_name == sender_name:
-                    continue
-                decision = self._decide_forwarding(sender_state, receiver_state)
-                sender_state.forwarding[receiver_name] = decision
-        # The cached dispatch plans encode the (possibly changed) decisions.
-        self._forward_plans.clear()
-
-    def _maybe_probe_downlinks(self) -> None:
-        """Send padding bursts toward application-limited receivers.
-
-        When the server is forwarding less than a receiver's downlink could
-        carry (because the next copy/layer up is too expensive), the only way
-        to discover recovered or additional capacity is to probe -- this is
-        WebRTC's ALR probing, and it is what lets Meet return to the full
-        copy within ten seconds of a downlink disruption ending (Figure 5).
-        """
-        now = self.sim.now
-        for receiver_name, receiver_state in self.participants.items():
-            estimator = receiver_state.downlink_estimator
-            if estimator is None:
-                continue
-            # Only probe when something better could be forwarded.
-            limited = False
-            for sender_name, sender_state in self.participants.items():
-                if sender_name == receiver_name:
-                    continue
-                layers, _keep = sender_state.forwarding.get(receiver_name, (None, 1.0))
-                if layers is None:
-                    continue
-                # Probe only while stuck on a lower copy/layer; when the top
-                # selection is already forwarded (possibly thinned) the
-                # receiver is not application-limited enough to justify the
-                # extra probe traffic on a link that is likely near capacity.
-                if not self._is_top_selection(sender_state, layers):
-                    limited = True
-                    break
-            if not limited:
-                continue
-            if now - self._last_probe_at.get(receiver_name, -1e9) < self.probe_interval_s:
-                continue
-            self._last_probe_at[receiver_name] = now
-            # Probe at roughly the current estimate on top of the forwarded
-            # media (i.e. approximately doubling the delivery rate for 200 ms),
-            # which is how WebRTC's ALR prober sizes its bursts.
-            estimate = estimator.available_bandwidth_estimate()
-            probe_bytes = int(min(max(estimate, 300_000.0), 1_500_000.0) * 0.4 / 8)
-            packet_size = 1000
-            count = max(probe_bytes // packet_size, 2)
-            sender_name = next(
-                (n for n in self.participants if n != receiver_name), None
-            )
-            if sender_name is None:
-                continue
-            flow = downlink_flow(sender_name, receiver_name, self.call_id)
-            for index in range(count):
-                probe = Packet(
-                    size_bytes=packet_size,
-                    flow_id=flow,
-                    src=self.host.name,
-                    dst=receiver_name,
-                    kind=PacketKind.FEC,
-                    seq=5_000_000 + index,
-                    created_at=now,
-                    meta={"probe": True},
-                )
-                self.probe_bytes_sent += probe.size_bytes
-                self.host.send(probe)
-
-    def _is_top_selection(self, sender_state: ParticipantState, layers: set[str]) -> bool:
-        """True if the forwarded layer set already includes the best layer."""
-        available = set(sender_state.layer_meters) or {"main"}
-        order = _SVC_LAYER_ORDER if self.profile.architecture == "svc_relay" else _SIMULCAST_ORDER
-        best = None
-        for name in order:
-            if name in available:
-                best = name
-        if best is None:
-            return True
-        return best in layers
-
-    def _decide_forwarding(
-        self, sender_state: ParticipantState, receiver_state: ParticipantState
-    ) -> tuple[set[str], float]:
-        """Pick which layers of ``sender`` to forward to ``receiver``."""
-        estimator = receiver_state.downlink_estimator
-        if estimator is None:
-            estimate = 6_000_000.0
-        elif self.profile.architecture == "svc_relay":
-            # Zoom's layer selection follows the *loss-based* estimate alone.
-            # The delay path must not participate: under competition the
-            # relay's own goodput is starved, so a delay-led estimate (capped
-            # at a multiple of that starved receive rate) ratchets into a
-            # base-layer fixed point it can never leave -- the Figure 10
-            # failure.  The loss estimate is anchored at the delivered rate
-            # and recovers through the moderate-loss band (FEC masks it),
-            # which is exactly Zoom's measured queue-filling behaviour.
-            estimate = estimator.loss_estimate_bps
-        else:
-            estimate = estimator.available_bandwidth_estimate()
-        displayed = (
-            len(receiver_state.layout) if receiver_state.layout else max(len(self.participants) - 1, 1)
-        )
-        budget = self.profile.server_headroom * estimate / max(displayed, 1)
-        requested = receiver_state.layout.get(sender_state.name)
-
-        if self.profile.architecture == "sfu_simulcast":
-            return self._decide_simulcast(sender_state, budget, requested)
-        if self.profile.architecture == "svc_relay":
-            return self._decide_svc(sender_state, budget, requested)
-        return (set(sender_state.layer_meters) or {"main"}, 1.0)
-
-    def _decide_simulcast(
-        self,
-        sender_state: ParticipantState,
-        budget: float,
-        requested: Optional[Resolution],
-    ) -> tuple[set[str], float]:
-        high_rate = sender_state.layer_meters.get("high", _LayerMeter()).rate_bps or 800_000.0
-        wants_high = requested is None or requested.width >= 640
-        high_floor = high_rate * self.profile.server_thinning_floor
-        if wants_high and "high" in sender_state.layer_meters and budget >= max(high_floor, 300_000.0):
-            keep = min(budget / max(high_rate, 1.0), 1.0)
-            return ({"high"}, keep)
-        return ({"low"}, 1.0)
-
-    def _decide_svc(
-        self,
-        sender_state: ParticipantState,
-        budget: float,
-        requested: Optional[Resolution],
-    ) -> tuple[set[str], float]:
-        # Cap the forwarded hierarchy by the receiver's requested resolution.
-        allowed = set(_SVC_LAYER_ORDER)
-        if requested is not None:
-            if requested.width < 640:
-                allowed = {"base"}
-            elif requested.width < 1280:
-                allowed = {"base", "mid"}
-        layers: set[str] = set()
-        keep = 1.0
-        cumulative = 0.0
-        defaults = {"base": 110_000.0, "mid": 240_000.0, "top": 390_000.0}
-        fec_factor = 1.0 + self.profile.server_fec_ratio
-        for layer_name in _SVC_LAYER_ORDER:
-            if layer_name not in allowed:
-                break
-            meter = sender_state.layer_meters.get(layer_name)
-            rate = (meter.rate_bps if meter and meter.rate_bps > 0 else defaults[layer_name]) * fec_factor
-            if layer_name == "base":
-                layers.add(layer_name)
-                cumulative += rate
-                continue
-            if cumulative + rate * self.profile.server_thinning_floor <= budget:
-                layers.add(layer_name)
-                keep = min((budget - cumulative) / max(rate, 1.0), 1.0)
-                cumulative += rate * keep
-            else:
-                break
-        return (layers, keep)
+__all__ = ["MediaServer", "SfuNode", "ParticipantState"]

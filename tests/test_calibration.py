@@ -82,15 +82,44 @@ class TestConstants:
 
 class TestTargets:
     def test_margin_signs(self):
-        metrics = {t.metric: (t.threshold - 0.1 if t.op == "lt" else t.threshold + 0.1) for t in FIGURE_TARGETS}
+        # One value per metric: a banded metric (same metric constrained gt
+        # and lt) gets the midpoint of its band, a single-sided metric sits
+        # 0.1 inside its threshold.  Every margin must come back positive.
+        thresholds_by_metric: dict[str, dict[str, float]] = {}
+        for t in FIGURE_TARGETS:
+            thresholds_by_metric.setdefault(t.metric, {})[t.op] = t.threshold
+        metrics = {}
+        for metric, ops in thresholds_by_metric.items():
+            if len(ops) == 2:
+                metrics[metric] = (ops["gt"] + ops["lt"]) / 2.0
+            elif "lt" in ops:
+                metrics[metric] = ops["lt"] - 0.1
+            else:
+                metrics[metric] = ops["gt"] + 0.1
         margins = score_metrics(metrics)
-        assert all(m == pytest.approx(0.1) for m in margins.values())
+        assert set(margins) == {t.key for t in FIGURE_TARGETS}
+        assert all(m > 0.0 for m in margins.values())
 
-    def test_every_target_names_a_distinct_metric(self):
-        metrics = [t.metric for t in FIGURE_TARGETS]
-        assert len(metrics) == len(set(metrics))
+    def test_every_target_has_a_distinct_key(self):
+        keys = [t.key for t in FIGURE_TARGETS]
+        assert len(keys) == len(set(keys))
         figures = {t.figure for t in FIGURE_TARGETS}
         assert figures == {"fig8", "fig10", "fig12", "fig14"}
+
+    def test_tx_loss_band_scores_both_sides(self):
+        # The fig10 tx-loss band is the reason margins are keyed metric:op --
+        # under metric-only keying one side would silently overwrite the
+        # other.  A value above the ceiling must fail *only* the lt side.
+        band = [t for t in FIGURE_TARGETS if t.metric == "fig10_zoom_tx_loss"]
+        assert sorted(t.op for t in band) == ["gt", "lt"]
+        floor = next(t for t in band if t.op == "gt")
+        ceiling = next(t for t in band if t.op == "lt")
+        assert floor.threshold < ceiling.threshold
+        metrics = {t.metric: (t.threshold - 0.1 if t.op == "lt" else t.threshold + 0.1) for t in FIGURE_TARGETS}
+        metrics["fig10_zoom_tx_loss"] = ceiling.threshold + 0.05
+        margins = score_metrics(metrics)
+        assert margins[ceiling.key] < 0.0
+        assert margins[floor.key] > 0.0
 
 
 class TestJointCalibration:
@@ -124,21 +153,30 @@ class TestJointCalibration:
 
 
 class TestRelayTxSideLoss:
-    """Informational coverage of the PR 3 modeling caveat.
+    """Bounded coverage of the PR 3 modeling caveat.
 
     Under the committed competition floor, Zoom's SVC relay keeps feeding
-    the full ladder into a saturated 0.5 Mbps downlink: the *received* rate
-    matches the paper's rx-side figures while most of what the relay sends
-    dies at the bottleneck.  This test measures that tx-side loss (server
-    tx capture vs client rx capture, ``core.metrics.tx_loss_rate``) so the
-    behaviour is a recorded number instead of an invisible caveat.  No
-    figure target constrains it yet; the assertion only pins that the
-    flood is real (>= 40% loss) and the metric is sane.
+    layers into a saturated 0.5 Mbps downlink: the *received* rate matches
+    the paper's rx-side figures while much of what the relay sends dies at
+    the bottleneck.  This test measures that tx-side loss (server tx
+    capture vs client rx capture, ``core.metrics.tx_loss_rate``) and pins
+    it into the band the fig10 figure targets record: above 0.40 (the
+    paper's measured flood aggressiveness) and below 0.75 (the sustained-
+    loss layer shedding bound -- before shedding, the relay shipped the
+    full ladder into a ~77 % loss pipe).  The same band is wired into the
+    calibration sweep via the two ``fig10_zoom_tx_loss`` figure targets,
+    so the margins here and in ``verify_committed`` move together.
     """
 
-    def test_zoom_tx_loss_under_competition_floor_is_recorded(self):
+    def test_zoom_tx_loss_under_competition_floor_is_bounded(self):
         from repro.experiments.competition import run_competition
 
+        band = {
+            t.op: t.threshold
+            for t in FIGURE_TARGETS
+            if t.metric == "fig10_zoom_tx_loss"
+        }
+        assert set(band) == {"gt", "lt"}
         run = run_competition(
             "teams", "zoom", capacity_mbps=0.5,
             competitor_duration_s=CALIBRATION_DURATION_S,
@@ -147,9 +185,13 @@ class TestRelayTxSideLoss:
         zoom_loss = run.downlink_tx_loss("F1", "competitor")
         teams_loss = run.downlink_tx_loss("C1", "incumbent")
         print(
-            f"\n[informational] tx-side downlink loss at 0.5 Mbps floor: "
-            f"zoom={zoom_loss:.3f} teams={teams_loss:.3f}"
+            f"\n[recorded] tx-side downlink loss at 0.5 Mbps floor: "
+            f"zoom={zoom_loss:.3f} teams={teams_loss:.3f} "
+            f"band=({band['gt']:.2f}, {band['lt']:.2f})"
         )
         assert 0.0 <= teams_loss <= 1.0
-        # The "floods through sustained 40%+ loss" caveat, now measured.
-        assert zoom_loss >= 0.40
+        # The flood is real (the paper's caveat) but no longer unbounded:
+        # sustained-loss shedding caps the relay's layer budget at a
+        # multiple of the delivered rate once loss stays above the shed
+        # threshold (constants.zoom_relay_shed_*).
+        assert band["gt"] <= zoom_loss <= band["lt"]

@@ -299,6 +299,75 @@ class TestMediaPipelineEquivalence:
         assert CallConfig().polled is False
 
 
+class TestCascadeSingleNodeEquivalence:
+    """A one-region cascade must be byte-identical to the classic call.
+
+    The SFU refactor (``MediaServer`` -> composable ``SfuNode``) gates every
+    cascade extension on the control plane being present; with a single
+    region there are no trunks, so the cascaded ``Call`` on
+    :func:`build_cascade_topology` must reproduce the classic single-server
+    call on :func:`build_access_topology` exactly -- same LinkStats
+    counters, same per-flow capture bins at the measured client, for the
+    whole equivalence matrix.
+    """
+
+    @staticmethod
+    def _run_cascade_call(vca, n_participants, seed=21, duration=30.0, shape_up=None):
+        from repro.net.shaper import BandwidthProfile
+        from repro.net.topology import build_cascade_topology
+        from repro.vca import Call, CallConfig
+        from repro.vca.sfu import CascadePlan, CascadeRegion
+
+        sim = Simulator(seed=seed)
+        names = tuple(f"C{i + 1}" for i in range(n_participants))
+        plan = CascadePlan(
+            regions=(CascadeRegion(node="R0", clients=names),), trunks=()
+        )
+        topo = build_cascade_topology(sim, plan)
+        if shape_up is not None:
+            topo.shape(up_profile=BandwidthProfile.constant(shape_up))
+        capture = PacketCapture(sim)
+        capture.attach(topo.host("C1"))
+        call = Call(
+            sim,
+            [topo.host(name) for name in names],
+            topo.host("R0"),
+            CallConfig(vca=vca, seed=seed, collect_stats=False),
+            cascade=plan,
+            cascade_hosts={"R0": topo.host("R0")},
+        )
+        call.start()
+        sim.run(until=duration)
+        call.stop()
+        sim.run(until=duration + 2.0)
+        bins = {key: list(series._bins) for key, series in capture._series.items()}
+        return _stats_tuple(topo.uplink), _stats_tuple(topo.downlink), bins
+
+    @pytest.mark.parametrize(
+        ("vca", "n_participants", "shape_up"),
+        [
+            ("meet", 2, 1_000_000.0),
+            ("meet", 5, None),
+            ("zoom", 2, 1_000_000.0),
+            ("teams-chrome", 2, 1_000_000.0),
+            # Constrained regimes where layer shedding and sub-30 fps
+            # scheduling would expose any cascade-path divergence.
+            ("zoom", 2, 250_000.0),
+            ("meet", 2, 300_000.0),
+        ],
+    )
+    def test_single_node_cascade_byte_identical(self, vca, n_participants, shape_up):
+        classic = TestMediaPipelineEquivalence._run_call(
+            vca, n_participants, polled=False, shape_up=shape_up
+        )
+        cascaded = self._run_cascade_call(vca, n_participants, shape_up=shape_up)
+        assert classic[0] == cascaded[0]  # uplink LinkStats
+        assert classic[1] == cascaded[1]  # downlink LinkStats
+        assert set(classic[2]) == set(cascaded[2])
+        for key in classic[2]:
+            assert classic[2][key] == cascaded[2][key], key
+
+
 class TestCallLevelEquivalence:
     """Full-call equivalence: the topology built with fast links vs legacy.
 

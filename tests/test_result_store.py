@@ -46,7 +46,7 @@ def _dispatch_log(monkeypatch) -> list[tuple[str, int]]:
     def fake_run(name: str, seed: int = 0, duration_s: float | None = None) -> dict[str, float]:
         calls.append((name, seed))
         base = float(len(name)) + seed
-        metrics = (*SWEEP_METRICS, "mean_queue_delay_s")
+        metrics = (*SWEEP_METRICS, "mean_queue_delay_s", "cascade_freeze_gap")
         return {metric: base + index for index, metric in enumerate(metrics)}
 
     monkeypatch.setattr(scenario_mod, "run_scenario_by_name", fake_run)
@@ -343,6 +343,7 @@ class TestScenarioTargets:
         "static-2.5up-zoom": {"rate_switches": 1.0},
         "codel-downlink-zoom": {"mean_queue_delay_s": 0.02, "median_down_mbps": 0.72},
         "droptail-downlink-zoom": {"mean_queue_delay_s": 0.30, "median_down_mbps": 0.75},
+        "cascade/lossy-trunk-far-freeze-zoom": {"cascade_freeze_gap": 0.05},
     }
 
     def test_committed_targets_reference_registered_scenarios(self):
@@ -355,6 +356,7 @@ class TestScenarioTargets:
         assert margins["lte-vs-static-rate-switches"] == pytest.approx(3.0 - 0.5)
         assert margins["codel-vs-droptail-queue-delay"] == pytest.approx(0.28 - 0.03)
         assert margins["codel-throughput-ratio"] == pytest.approx(0.72 / 0.75 - 0.8)
+        assert margins["lossy-trunk-far-region-freeze"] == pytest.approx(0.05 - 0.01)
         assert all(m > 0 for m in margins.values())
 
     def test_margin_flips_when_behaviour_regresses(self):
