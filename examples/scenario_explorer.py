@@ -9,6 +9,10 @@ Modes:
   metrics (one line per repetition plus the mean).
 * ``--sweep [--tag TAG]`` runs a whole pack through the campaign process
   pool and prints the summary table (the ``scenario_sweep`` experiment).
+* ``--score USE_CASE`` (with --run / --sweep) additionally scores every
+  scenario under a barometer use-case formula
+  (repro.barometer.formula): per-repetition and mean ``quality_index``
+  lines for --run, a ``quality_index`` table column for --sweep.
 * ``--cascade [NAME ...]`` runs the cascaded-SFU pack (scenarios tagged
   ``cascade``) through the campaign pool and prints the per-region table
   (the ``cascade_sweep`` experiment).
@@ -130,6 +134,11 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     from repro.netem.scenarios import get_scenario, run_scenario
 
+    formula = None
+    if args.score:
+        from repro.barometer.formula import get_use_case
+
+        formula = get_use_case(args.score)
     payload = {}
     for name in args.run:
         spec = get_scenario(name)
@@ -138,11 +147,17 @@ def cmd_run(args) -> int:
         for repetition in range(args.repetitions):
             run = run_scenario(spec, seed=args.seed + repetition, duration_s=args.duration)
             metrics = run.metrics()
+            if formula is not None:
+                metrics = dict(metrics)
+                metrics["quality_index"] = formula.quality_index(metrics)
             per_rep.append(metrics)
             line = ", ".join(f"{key}={value:.4g}" for key, value in sorted(metrics.items()))
             print(f"   rep {repetition} (seed {args.seed + repetition}): {line}")
         if len(per_rep) > 1:
             means = {key: sum(rep[key] for rep in per_rep) / len(per_rep) for key in per_rep[0]}
+            if formula is not None:
+                # Score the aggregate, matching the sweep/verify convention.
+                means["quality_index"] = formula.quality_index(means)
             line = ", ".join(f"{key}={value:.4g}" for key, value in sorted(means.items()))
             print(f"   mean over {len(per_rep)} reps: {line}")
         payload[name] = per_rep
@@ -162,6 +177,7 @@ def cmd_sweep(args) -> int:
     store = _resolve_store(args)
     table = run_scenario_sweep(
         tag=args.tag,
+        score_use_case=args.score,
         duration_s=args.duration,
         repetitions=args.repetitions,
         seed=args.seed,
@@ -341,6 +357,9 @@ def main() -> int:
     mode.add_argument("--manifest", metavar="FILE",
                       help="write the registry spec-hash manifest (no simulation)")
     parser.add_argument("--tag", default=None, help="filter by pack tag (paper-baseline / beyond-paper)")
+    parser.add_argument("--score", default=None, metavar="USE_CASE",
+                        help="score --run / --sweep output under a barometer use-case "
+                             "formula (adds quality_index; see repro.barometer)")
     parser.add_argument("--duration", type=float, default=None, help="override call duration in seconds")
     parser.add_argument("--repetitions", type=int, default=None,
                         help="repetitions per scenario (default: 1; 3 for --verify-targets)")
@@ -379,6 +398,14 @@ def main() -> int:
             parser.error("--hosts and --workers are mutually exclusive")
         if args.no_cache:
             parser.error("--hosts requires the store cache (drop --no-cache)")
+    if args.score is not None:
+        if not (args.run or args.sweep):
+            parser.error("--score applies to --run / --sweep output")
+        from repro.barometer.formula import list_use_cases
+
+        if args.score not in list_use_cases():
+            parser.error(f"unknown use case {args.score!r}; "
+                         f"known: {', '.join(list_use_cases())}")
 
     if args.repetitions is None:
         # --verify-targets defaults to the benchmarks' three-seed aggregation.

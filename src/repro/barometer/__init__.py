@@ -1,0 +1,64 @@
+"""Population-scale VCA quality barometer.
+
+The barometer turns the per-call scenario metrics the reproduction already
+measures into a *population* statement, modeled on m-lab's Internet Quality
+Barometer: a declarative per-use-case formula maps scenario metrics into
+weighted 0-1 requirement scores aggregated into one quality index
+(:mod:`repro.barometer.formula`); a seeded household sampler draws access
+profiles from declarative ISP-tier distributions over the netem generators
+(:mod:`repro.barometer.population`); the campaign compiler fans the
+(household x VCA x use case) grid through the fault-tolerant, store-backed
+campaign service (:mod:`repro.barometer.campaign`); and the report layer
+renders population CDFs and per-ISP-tier scorecards
+(:mod:`repro.barometer.report`).
+"""
+
+from repro.barometer.formula import (
+    BAROMETER_CONFIG,
+    Requirement,
+    UseCaseFormula,
+    get_use_case,
+    list_use_cases,
+    quality_index,
+    requirement_scores,
+)
+from repro.barometer.population import (
+    DEFAULT_TIERS,
+    Household,
+    IspTier,
+    household_scenario,
+    sample_households,
+)
+from repro.barometer.campaign import (
+    BAROMETER_METRICS,
+    run_barometer_sweep,
+    run_household_spec,
+)
+from repro.barometer.report import (
+    population_cdf,
+    render_population_cdf,
+    render_tier_scorecard,
+    tier_scorecard,
+)
+
+__all__ = [
+    "BAROMETER_CONFIG",
+    "BAROMETER_METRICS",
+    "DEFAULT_TIERS",
+    "Household",
+    "IspTier",
+    "Requirement",
+    "UseCaseFormula",
+    "get_use_case",
+    "household_scenario",
+    "list_use_cases",
+    "population_cdf",
+    "quality_index",
+    "render_population_cdf",
+    "render_tier_scorecard",
+    "requirement_scores",
+    "run_barometer_sweep",
+    "run_household_spec",
+    "sample_households",
+    "tier_scorecard",
+]

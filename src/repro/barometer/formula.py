@@ -1,0 +1,270 @@
+"""IQB-style quality formula: scenario metrics -> per-use-case quality index.
+
+Modeled on m-lab's Internet Quality Barometer formula config: a *use case*
+(two-party call, five-party gallery, audio-first call) declares a weighted
+set of *requirements*, each mapping one scenario metric
+(:meth:`repro.netem.scenarios.ScenarioRun.metrics` keys) onto a 0-1 score
+through a ``good``/``bad`` threshold pair, and the quality index of a
+(household, VCA, use case) cell is the weighted mean of its requirement
+scores.
+
+Scoring semantics
+-----------------
+
+* A metric at or beyond its ``good`` threshold scores ``1.0``; at or beyond
+  ``bad`` scores ``0.0``; between the two the score ramps linearly.  The
+  requirement's *direction* is implied by the thresholds: ``good < bad``
+  means lower-is-better (freeze ratio, loss, queue delay), ``good > bad``
+  means higher-is-better (fps, received bitrate).
+* ``good == bad`` degenerates to the IQB step: meeting the threshold
+  exactly scores ``1.0`` (inclusive), missing it scores ``0.0``.
+* A requirement whose metric is absent (missing key or NaN) is excluded and
+  the remaining weights renormalize, so a sweep that does not record every
+  metric still scores -- the index is never silently dragged toward zero by
+  missing data.  An all-absent cell scores NaN.
+
+The module is pure data + arithmetic (no simulator imports), so the
+calibration targets can resolve ``quality_index:<use-case>`` metrics
+without import cycles, and formula edits re-score *cached* campaign metrics
+without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+__all__ = [
+    "BAROMETER_CONFIG",
+    "Requirement",
+    "UseCaseFormula",
+    "USE_CASES",
+    "build_formula",
+    "get_use_case",
+    "list_use_cases",
+    "quality_index",
+    "requirement_scores",
+]
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One weighted metric requirement of a use case.
+
+    ``good``/``bad`` are the scores' anchor thresholds (see module docs);
+    ``weight`` is the requirement's share of the use case's index before
+    renormalization.
+    """
+
+    metric: str
+    weight: float
+    good: float
+    bad: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise ValueError(f"requirement {self.metric!r} needs a positive weight")
+        if not (math.isfinite(self.good) and math.isfinite(self.bad)):
+            raise ValueError(f"requirement {self.metric!r} thresholds must be finite")
+
+    @property
+    def lower_is_better(self) -> bool:
+        return self.good < self.bad
+
+    def score(self, value: float) -> float:
+        """The 0-1 score of one metric value (monotone in ``value``)."""
+        value = float(value)
+        if self.good == self.bad:
+            # IQB step semantics: exactly-at-threshold meets the requirement.
+            meets = value <= self.good if _step_lower(self) else value >= self.good
+            return 1.0 if meets else 0.0
+        span = self.bad - self.good
+        fraction = (value - self.good) / span  # 0 at good, 1 at bad, either direction
+        return 1.0 - min(max(fraction, 0.0), 1.0)
+
+
+def _step_lower(requirement: Requirement) -> bool:
+    """Direction of a degenerate (``good == bad``) step requirement.
+
+    Metrics the barometer counts *against* quality (losses, freezes,
+    delays, switches) step as lower-is-better; everything else as
+    higher-is-better.
+    """
+    return requirement.metric in _LOWER_IS_BETTER_METRICS
+
+
+#: Metrics where smaller values mean better quality (used only to orient
+#: degenerate step requirements; ramp requirements orient themselves).
+_LOWER_IS_BETTER_METRICS = frozenset(
+    {
+        "freeze_ratio",
+        "tx_loss_rate",
+        "rate_switches",
+        "mean_queue_delay_s",
+        "p95_queue_delay_s",
+        "queue_drops",
+        "aqm_drops",
+        "random_losses",
+    }
+)
+
+
+@dataclass(frozen=True)
+class UseCaseFormula:
+    """A named use case: call shape plus weighted metric requirements."""
+
+    name: str
+    description: str
+    #: Call shape the use case compiles to (barometer campaign cells).
+    participants: int
+    view_mode: str
+    requirements: tuple[Requirement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requirements:
+            raise ValueError(f"use case {self.name!r} needs at least one requirement")
+        metrics = [r.metric for r in self.requirements]
+        if len(set(metrics)) != len(metrics):
+            raise ValueError(f"use case {self.name!r} repeats a metric requirement")
+        if self.participants < 2:
+            raise ValueError(f"use case {self.name!r} needs at least two participants")
+        if self.view_mode not in ("gallery", "speaker"):
+            raise ValueError(f"use case {self.name!r} view_mode must be gallery/speaker")
+
+    def requirement_scores(
+        self, metrics: Mapping[str, float]
+    ) -> dict[str, Optional[float]]:
+        """Per-requirement scores; ``None`` marks an absent metric."""
+        scores: dict[str, Optional[float]] = {}
+        for requirement in self.requirements:
+            value = metrics.get(requirement.metric)
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                scores[requirement.metric] = None
+            else:
+                scores[requirement.metric] = requirement.score(float(value))
+        return scores
+
+    def quality_index(self, metrics: Mapping[str, float]) -> float:
+        """Weighted mean of present requirement scores (NaN if none present)."""
+        total_weight = 0.0
+        total = 0.0
+        scores = self.requirement_scores(metrics)
+        for requirement in self.requirements:
+            score = scores[requirement.metric]
+            if score is None:
+                continue
+            total_weight += requirement.weight
+            total += requirement.weight * score
+        if total_weight == 0.0:
+            return float("nan")
+        return total / total_weight
+
+
+#: The declarative formula config, IQB-style: plain data so the whole
+#: barometer scoring policy is diffable in one place.  Thresholds are in
+#: the units of :meth:`ScenarioRun.metrics` -- Mbps, frames/s, seconds,
+#: ratios -- and anchor to the paper's measured operating points (Zoom/Meet
+#: sustain ~0.5-2.5 Mbps per stream, Section 3; freezes dominate perceived
+#: quality under burst loss, Section 3.2).  ``rate_switches`` is cumulative
+#: over the call, so it carries a small weight and a generous ``bad`` bound
+#: to stay meaningful at both smoke (10 s) and full (45-120 s) durations.
+BAROMETER_CONFIG: dict[str, dict[str, Any]] = {
+    "two-party": {
+        "description": "Interactive two-party video call (the paper's baseline workload)",
+        "participants": 2,
+        "view_mode": "gallery",
+        "requirements": {
+            "mean_received_fps":  {"w": 4, "good": 14.0, "bad": 2.0},
+            "freeze_ratio":       {"w": 4, "good": 0.0, "bad": 0.30},
+            "median_down_mbps":   {"w": 3, "good": 1.0, "bad": 0.10},
+            "median_up_mbps":     {"w": 2, "good": 0.8, "bad": 0.08},
+            "p95_queue_delay_s":  {"w": 3, "good": 0.05, "bad": 1.0},
+            "tx_loss_rate":       {"w": 2, "good": 0.005, "bad": 0.20},
+            "rate_switches":      {"w": 1, "good": 2.0, "bad": 40.0},
+        },
+    },
+    "five-party-gallery": {
+        "description": "Five-party gallery call (Section 6's multiparty workload)",
+        "participants": 5,
+        "view_mode": "gallery",
+        "requirements": {
+            # mean_received_fps sums over the gallery's four received
+            # streams, so the thresholds are 4x the per-stream targets.
+            "mean_received_fps":  {"w": 4, "good": 48.0, "bad": 8.0},
+            "freeze_ratio":       {"w": 5, "good": 0.0, "bad": 0.25},
+            "median_down_mbps":   {"w": 4, "good": 2.0, "bad": 0.25},
+            "median_up_mbps":     {"w": 2, "good": 0.8, "bad": 0.08},
+            "p95_queue_delay_s":  {"w": 3, "good": 0.05, "bad": 1.0},
+            "tx_loss_rate":       {"w": 2, "good": 0.005, "bad": 0.20},
+            "rate_switches":      {"w": 1, "good": 2.0, "bad": 40.0},
+        },
+    },
+    "audio-first": {
+        "description": "Audio-led call (video incidental): latency and loss dominate",
+        "participants": 2,
+        "view_mode": "speaker",
+        "requirements": {
+            "p95_queue_delay_s":  {"w": 5, "good": 0.03, "bad": 0.40},
+            "tx_loss_rate":       {"w": 5, "good": 0.002, "bad": 0.10},
+            "median_down_mbps":   {"w": 2, "good": 0.25, "bad": 0.03},
+            "median_up_mbps":     {"w": 2, "good": 0.20, "bad": 0.03},
+            "freeze_ratio":       {"w": 1, "good": 0.0, "bad": 0.50},
+            "mean_received_fps":  {"w": 1, "good": 8.0, "bad": 1.0},
+        },
+    },
+}
+
+
+def build_formula(name: str, config: Mapping[str, Any]) -> UseCaseFormula:
+    """Compile one use case's declarative config into a formula."""
+    requirements = tuple(
+        Requirement(
+            metric=metric,
+            weight=float(spec["w"]),
+            good=float(spec["good"]),
+            bad=float(spec["bad"]),
+        )
+        for metric, spec in config["requirements"].items()
+    )
+    return UseCaseFormula(
+        name=name,
+        description=str(config.get("description", "")),
+        participants=int(config.get("participants", 2)),
+        view_mode=str(config.get("view_mode", "gallery")),
+        requirements=requirements,
+    )
+
+
+#: Compiled registry of the shipped use cases.
+USE_CASES: dict[str, UseCaseFormula] = {
+    name: build_formula(name, config) for name, config in BAROMETER_CONFIG.items()
+}
+
+
+def get_use_case(name: Union[str, UseCaseFormula]) -> UseCaseFormula:
+    """Look up one use-case formula (formulas pass through unchanged)."""
+    if isinstance(name, UseCaseFormula):
+        return name
+    if name not in USE_CASES:
+        raise KeyError(f"unknown use case {name!r}; known: {sorted(USE_CASES)}")
+    return USE_CASES[name]
+
+
+def list_use_cases() -> list[str]:
+    """Shipped use-case names, sorted."""
+    return sorted(USE_CASES)
+
+
+def requirement_scores(
+    metrics: Mapping[str, float], use_case: Union[str, UseCaseFormula]
+) -> dict[str, Optional[float]]:
+    """Per-requirement 0-1 scores of one metric payload under a use case."""
+    return get_use_case(use_case).requirement_scores(metrics)
+
+
+def quality_index(
+    metrics: Mapping[str, float], use_case: Union[str, UseCaseFormula]
+) -> float:
+    """The weighted quality index of one metric payload under a use case."""
+    return get_use_case(use_case).quality_index(metrics)

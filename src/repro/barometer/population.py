@@ -1,0 +1,300 @@
+"""Seeded household sampling from declarative ISP-tier distributions.
+
+A *tier* describes one access-network population segment -- fiber, cable,
+DSL, LTE, a constrained-LTE low end, LEO satellite, the committed
+Verizon-LTE trace pack -- as plain data: its population share, which side
+of the access link is shaped, a capacity-profile distribution over the
+existing netem generators (``constant`` / ``dsl`` / ``lte`` / ``wifi`` /
+``leo`` / ``trace``), and optional loss/jitter mixes (each applied with a
+per-household probability, parameters drawn from declared ranges).
+
+``sample_households(n, seed)`` draws ``n`` households.  Every household's
+draws come from its own :class:`random.Random` stream keyed on ``(seed,
+index)`` via a fixed integer mix, so the grid is
+
+* **byte-identical across processes** for the same seed (no dependence on
+  hash randomization, platform, or sampling order), and
+* **stable under growth**: households ``0..n-1`` of an ``n+k`` sample equal
+  the ``n``-sample exactly, so widening a campaign only adds cells.
+
+Sampled parameters are rounded to fixed precision so the compiled
+:class:`~repro.netem.scenarios.ScenarioSpec` payloads (and therefore the
+result-store keys) stay clean and diffable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.barometer.formula import UseCaseFormula, get_use_case
+from repro.netem.scenarios import ScenarioSpec
+
+__all__ = [
+    "DEFAULT_TIERS",
+    "Household",
+    "IspTier",
+    "household_scenario",
+    "sample_households",
+    "tier_names",
+]
+
+
+@dataclass(frozen=True)
+class IspTier:
+    """One declarative access-network population segment.
+
+    ``profile`` is ``(kind, params)`` where every numeric param may be a
+    single value or a ``[low, high]`` range sampled uniformly per
+    household.  ``loss``/``jitter`` add a ``"prob"`` key: the per-household
+    probability of carrying that impairment at all; their remaining params
+    follow the same value-or-range convention and compile into the
+    scenario component specs (``gilbert_elliott`` loss, ``delay`` jitter).
+    """
+
+    name: str
+    description: str
+    #: Relative population share (normalized over the tier set).
+    share: float
+    #: Which side of the household's access link is shaped: up/down/both.
+    direction: str = "both"
+    profile: tuple[str, Mapping[str, Any]] = ("constant", {"mbps": 10.0})
+    loss: Optional[Mapping[str, Any]] = None
+    jitter: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.share <= 0.0:
+            raise ValueError(f"tier {self.name!r} needs a positive share")
+        if self.direction not in ("up", "down", "both"):
+            raise ValueError(f"tier {self.name!r} direction must be up/down/both")
+        # Detach payloads from caller aliases (same convention as ScenarioSpec).
+        kind, params = self.profile
+        object.__setattr__(self, "profile", (kind, dict(params)))
+        for attr in ("loss", "jitter"):
+            value = getattr(self, attr)
+            if value is not None:
+                object.__setattr__(self, attr, dict(value))
+
+
+@dataclass(frozen=True)
+class Household:
+    """One sampled household: a tier assignment plus resolved access specs."""
+
+    index: int
+    tier: str
+    direction: str
+    profile: tuple[str, dict[str, Any]]
+    loss: Optional[tuple[str, dict[str, Any]]] = None
+    jitter: Optional[tuple[str, dict[str, Any]]] = None
+
+    @property
+    def uid(self) -> str:
+        return f"h{self.index:04d}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data payload (canonical-JSON friendly, for determinism tests)."""
+        return {
+            "index": self.index,
+            "tier": self.tier,
+            "direction": self.direction,
+            "profile": [self.profile[0], dict(self.profile[1])],
+            "loss": [self.loss[0], dict(self.loss[1])] if self.loss else None,
+            "jitter": [self.jitter[0], dict(self.jitter[1])] if self.jitter else None,
+        }
+
+
+#: The shipped ISP-tier distribution.  Shares loosely follow the US fixed +
+#: mobile access mix the backhaul-comparison study (arXiv 2210.09651)
+#: contrasts; capacity ranges anchor to the generators' realistic operating
+#: envelopes and the paper's shaping grid (VCAs saturate near 2.5 Mbps, so
+#: the interesting population mass sits around and below that).
+DEFAULT_TIERS: tuple[IspTier, ...] = (
+    IspTier(
+        name="fiber",
+        description="FTTH: symmetric, effectively unconstrained for a VCA",
+        share=0.18,
+        direction="both",
+        profile=("constant", {"mbps": [20.0, 50.0]}),
+    ),
+    IspTier(
+        name="cable",
+        description="DOCSIS: fast down, modest up, occasional bursty loss",
+        share=0.30,
+        direction="up",
+        profile=("constant", {"mbps": [2.0, 8.0]}),
+        loss={"prob": 0.2, "mean_loss": [0.002, 0.01], "mean_burst_packets": [4.0, 10.0]},
+    ),
+    IspTier(
+        name="dsl",
+        description="DSL: stable sync rate with rare resync outages",
+        share=0.16,
+        direction="both",
+        profile=("dsl", {"mean_mbps": [3.0, 8.0]}),
+    ),
+    IspTier(
+        name="lte",
+        description="Mobile LTE: fading capacity process around a healthy mean",
+        share=0.16,
+        direction="both",
+        profile=("lte", {"mean_mbps": [2.0, 6.0]}),
+        jitter={"prob": 0.4, "mean_s": [0.004, 0.012], "std_s": [0.002, 0.006],
+                "rho": [0.6, 0.9]},
+    ),
+    IspTier(
+        name="constrained-lte",
+        description="Congested/edge-of-cell LTE: low mean capacity plus burst loss",
+        share=0.08,
+        direction="both",
+        profile=("lte", {"mean_mbps": [0.8, 1.8]}),
+        loss={"prob": 0.6, "mean_loss": [0.01, 0.04], "mean_burst_packets": [6.0, 16.0]},
+    ),
+    IspTier(
+        name="wifi-hotspot",
+        description="Contended Wi-Fi backhaul: two-state capacity, bursty loss",
+        share=0.06,
+        direction="both",
+        profile=("wifi", {"mean_mbps": [2.5, 6.0]}),
+        loss={"prob": 0.5, "mean_loss": [0.005, 0.03], "mean_burst_packets": [4.0, 12.0]},
+    ),
+    IspTier(
+        name="leo",
+        description="LEO satellite: handover dips plus wandering latency",
+        share=0.04,
+        direction="both",
+        profile=("leo", {"mean_mbps": [6.0, 15.0]}),
+        jitter={"prob": 1.0, "mean_s": [0.006, 0.012], "std_s": [0.003, 0.006],
+                "rho": [0.85, 0.95]},
+    ),
+    IspTier(
+        name="lte-trace",
+        description="The committed Verizon-LTE Mahimahi trace pack, rescaled",
+        share=0.02,
+        direction="up",
+        profile=("trace", {"pack": "verizon-lte", "mean_mbps": [1.5, 3.5]}),
+    ),
+)
+
+
+def tier_names(tiers: Sequence[IspTier] = DEFAULT_TIERS) -> list[str]:
+    """Tier names in declaration order."""
+    return [tier.name for tier in tiers]
+
+
+def _household_rng(seed: int, index: int) -> random.Random:
+    """An independent, platform-stable RNG stream per (seed, household).
+
+    A fixed odd-multiplier integer mix keeps streams disjoint without
+    relying on string hashing (which ``PYTHONHASHSEED`` never perturbs for
+    ints anyway) -- the property the serial-vs-``hosts=N`` determinism test
+    pins.
+    """
+    return random.Random((seed * 2_654_435_761 + index * 40_503) & 0xFFFFFFFFFFFF)
+
+
+def _draw(rng: random.Random, value: Any, precision: int = 4) -> Any:
+    """Resolve one declarative value: ranges sample uniformly, scalars pass."""
+    if isinstance(value, (list, tuple)):
+        low, high = float(value[0]), float(value[1])
+        return round(rng.uniform(low, high), precision)
+    if isinstance(value, float):
+        return round(value, precision)
+    return value
+
+
+def _pick_tier(rng: random.Random, tiers: Sequence[IspTier]) -> IspTier:
+    total = sum(tier.share for tier in tiers)
+    point = rng.uniform(0.0, total)
+    acc = 0.0
+    for tier in tiers:
+        acc += tier.share
+        if point <= acc:
+            return tier
+    return tiers[-1]
+
+
+def sample_households(
+    n: int,
+    seed: int = 0,
+    tiers: Sequence[IspTier] = DEFAULT_TIERS,
+) -> list[Household]:
+    """Draw ``n`` households from the tier distribution (see module docs)."""
+    if n <= 0:
+        raise ValueError("household count must be positive")
+    if not tiers:
+        raise ValueError("need at least one ISP tier")
+    households: list[Household] = []
+    for index in range(n):
+        rng = _household_rng(seed, index)
+        tier = _pick_tier(rng, tiers)
+        kind, params = tier.profile
+        profile = (kind, {key: _draw(rng, value) for key, value in sorted(params.items())})
+        loss: Optional[tuple[str, dict[str, Any]]] = None
+        if tier.loss is not None:
+            prob = float(tier.loss.get("prob", 1.0))
+            gate = rng.random()
+            if gate < prob:
+                loss = ("gilbert_elliott", {
+                    key: _draw(rng, value)
+                    for key, value in sorted(tier.loss.items())
+                    if key != "prob"
+                })
+        jitter: Optional[tuple[str, dict[str, Any]]] = None
+        if tier.jitter is not None:
+            prob = float(tier.jitter.get("prob", 1.0))
+            gate = rng.random()
+            if gate < prob:
+                jitter = ("delay", {
+                    key: _draw(rng, value)
+                    for key, value in sorted(tier.jitter.items())
+                    if key != "prob"
+                })
+        households.append(
+            Household(
+                index=index,
+                tier=tier.name,
+                direction=tier.direction,
+                profile=profile,
+                loss=loss,
+                jitter=jitter,
+            )
+        )
+    return households
+
+
+#: Default call length of compiled barometer cells (seconds).  Short enough
+#: that thousand-cell grids stay tractable, long enough for the controllers
+#: to reach steady state past the 12 s metric warmup.
+DEFAULT_CELL_DURATION_S = 60.0
+
+
+def household_scenario(
+    household: Household,
+    vca: str,
+    use_case: Union[str, UseCaseFormula],
+    duration_s: float = DEFAULT_CELL_DURATION_S,
+) -> ScenarioSpec:
+    """Compile one (household, VCA, use case) cell into a ScenarioSpec.
+
+    The spec is *not* registered -- population grids would swamp the named
+    registry -- but it is frozen plain data exactly like registered specs,
+    so it pickles into campaign workers and content-addresses in the result
+    store through the same ``scenario_cache_payload`` path.
+    """
+    formula = get_use_case(use_case)
+    return ScenarioSpec(
+        name=f"barometer/{household.tier}/{household.uid}/{vca}/{formula.name}",
+        description=(
+            f"Sampled {household.tier} household {household.uid}: "
+            f"{formula.description}"
+        ),
+        vca=vca,
+        direction=household.direction,
+        participants=formula.participants,
+        view_mode=formula.view_mode,
+        profile=household.profile,
+        loss=household.loss,
+        jitter=household.jitter,
+        duration_s=float(duration_s),
+        tags=("barometer", household.tier),
+    )

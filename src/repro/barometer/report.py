@@ -1,0 +1,156 @@
+"""Population CDFs and per-ISP-tier scorecards over barometer sweeps.
+
+Consumes the :class:`TableResult` produced by
+:func:`repro.barometer.campaign.run_barometer_sweep` (one row per
+(household, VCA, use case) cell with its ``quality_index``) and renders the
+two population artefacts the barometer exists for:
+
+* the **population CDF** of the quality index per (VCA, use case), and
+* the **per-ISP-tier scorecard** -- "can this tier sustain a five-party
+  call" -- aggregating each (tier, VCA, use case) slice into its mean /
+  median / 10th-percentile index and the fraction of households whose
+  index clears the sustain threshold, with a yes / marginal / no verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import TableResult, format_table
+
+__all__ = [
+    "SUSTAIN_INDEX",
+    "population_cdf",
+    "render_population_cdf",
+    "render_tier_scorecard",
+    "tier_scorecard",
+]
+
+#: Quality index at or above which a cell counts as "sustained" -- the
+#: household's access network supported the use case without material
+#: degradation (every requirement comfortably inside its ramp).
+SUSTAIN_INDEX = 0.6
+
+#: Sustained-household fractions mapping to scorecard verdicts.
+VERDICT_YES_FRACTION = 0.8
+VERDICT_MARGINAL_FRACTION = 0.5
+
+#: CDF percentiles rendered by the text view.
+CDF_PERCENTILES = (5, 10, 25, 50, 75, 90, 95)
+
+
+def _rows_as_dicts(table: TableResult) -> list[dict[str, Any]]:
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [float(v) for v in values if not math.isnan(float(v))]
+
+
+def population_cdf(table: TableResult) -> dict[tuple[str, str], list[tuple[float, float]]]:
+    """Empirical CDF of the quality index per (VCA, use case).
+
+    Returns ``{(vca, use_case): [(index, cumulative_fraction), ...]}`` with
+    points sorted by index -- plottable directly, and the source for
+    :func:`render_population_cdf`.
+    """
+    groups: dict[tuple[str, str], list[float]] = {}
+    for row in _rows_as_dicts(table):
+        groups.setdefault((row["vca"], row["use_case"]), []).append(
+            float(row["quality_index"])
+        )
+    cdf: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    for key, values in sorted(groups.items()):
+        points = sorted(_finite(values))
+        n = len(points)
+        cdf[key] = [(value, (rank + 1) / n) for rank, value in enumerate(points)]
+    return cdf
+
+
+def render_population_cdf(table: TableResult) -> str:
+    """Text rendering of the population CDF (one row per percentile)."""
+    cdf = population_cdf(table)
+    if not cdf:
+        return "population CDF: (no data)"
+    columns = ["percentile"] + [f"{vca}/{case}" for vca, case in cdf]
+    rows = []
+    for percentile in CDF_PERCENTILES:
+        row: list[Any] = [f"p{percentile}"]
+        for key in cdf:
+            values = [point[0] for point in cdf[key]]
+            row.append(float(np.percentile(values, percentile)) if values else math.nan)
+        rows.append(tuple(row))
+    counts = ", ".join(
+        f"{vca}/{case}: {len(points)} households" for (vca, case), points in cdf.items()
+    )
+    title = f"Population CDF of the quality index ({counts})"
+    return format_table(title, columns, rows)
+
+
+def _verdict(sustain_fraction: float) -> str:
+    if sustain_fraction >= VERDICT_YES_FRACTION:
+        return "yes"
+    if sustain_fraction >= VERDICT_MARGINAL_FRACTION:
+        return "marginal"
+    return "no"
+
+
+def tier_scorecard(
+    table: TableResult,
+    sustain_index: float = SUSTAIN_INDEX,
+    tier_order: Optional[Sequence[str]] = None,
+) -> TableResult:
+    """Aggregate a barometer table into the per-ISP-tier scorecard.
+
+    One row per (tier, VCA, use case) slice: household count, mean /
+    median / p10 quality index, the fraction of households at or above
+    ``sustain_index``, and the yes / marginal / no verdict.
+    """
+    groups: dict[tuple[str, str, str], list[float]] = {}
+    for row in _rows_as_dicts(table):
+        key = (str(row["tier"]), str(row["vca"]), str(row["use_case"]))
+        groups.setdefault(key, []).append(float(row["quality_index"]))
+    order: Mapping[str, int] = (
+        {name: position for position, name in enumerate(tier_order)}
+        if tier_order is not None
+        else {}
+    )
+    scorecard = TableResult(
+        table_id="barometer_scorecard",
+        title=f"ISP-tier scorecard (sustain = index >= {sustain_index:g})",
+        columns=("tier", "vca", "use_case", "households", "mean_index",
+                 "median_index", "p10_index", "sustain_fraction", "verdict"),
+    )
+    for key in sorted(groups, key=lambda k: (order.get(k[0], len(order)), k)):
+        tier, vca, use_case = key
+        values = _finite(groups[key])
+        if not values:
+            continue
+        sustained = sum(1 for value in values if value >= sustain_index)
+        fraction = sustained / len(values)
+        scorecard.add_row(
+            tier,
+            vca,
+            use_case,
+            float(len(values)),
+            float(np.mean(values)),
+            float(np.median(values)),
+            float(np.percentile(values, 10)),
+            fraction,
+            _verdict(fraction),
+        )
+    return scorecard
+
+
+def render_tier_scorecard(
+    table: TableResult,
+    sustain_index: float = SUSTAIN_INDEX,
+    tier_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Text rendering of :func:`tier_scorecard`."""
+    return tier_scorecard(
+        table, sustain_index=sustain_index, tier_order=tier_order
+    ).to_text()

@@ -28,6 +28,7 @@ __all__ = [
     "all_satisfied",
     "ScenarioTarget",
     "SCENARIO_TARGETS",
+    "resolve_metric",
     "score_scenario_metrics",
     "all_scenario_targets_satisfied",
 ]
@@ -156,6 +157,21 @@ def all_satisfied(metrics: Mapping[str, float]) -> bool:
 
 
 # --------------------------------------------------------- scenario targets
+def resolve_metric(metrics: Mapping[str, float], metric: str) -> float:
+    """One scenario's value of a (possibly derived) target metric.
+
+    Plain keys read the aggregated metric payload directly;
+    ``"quality_index:<use-case>"`` applies the barometer use-case formula
+    to the payload.  The formula module is pure data + arithmetic, so the
+    lazy import cannot cycle back into the simulation layers.
+    """
+    if metric.startswith("quality_index:"):
+        from repro.barometer.formula import quality_index
+
+        return float(quality_index(metrics, metric.split(":", 1)[1]))
+    return float(metrics[metric])
+
+
 @dataclass(frozen=True)
 class ScenarioTarget:
     """One recorded directional behaviour of the netem scenario library.
@@ -171,7 +187,10 @@ class ScenarioTarget:
     """
 
     name: str
-    #: Metric key of :meth:`repro.netem.scenarios.ScenarioRun.metrics`.
+    #: Metric key of :meth:`repro.netem.scenarios.ScenarioRun.metrics`, or a
+    #: derived ``"quality_index:<use-case>"`` metric -- the barometer's
+    #: weighted formula (:mod:`repro.barometer.formula`) applied to the
+    #: scenario's aggregated metrics.
     metric: str
     #: Registered scenario supplying the primary value.
     scenario: str
@@ -181,6 +200,11 @@ class ScenarioTarget:
     threshold: float
     #: Registered scenario supplying the comparison value (difference/ratio).
     baseline: Optional[str] = None
+    #: Metric evaluated on the baseline scenario; defaults to ``metric``.
+    #: Barometer targets compare *different use cases* across scenarios
+    #: (e.g. a constrained tier's five-party index against a healthy tier's
+    #: two-party index), which a single shared metric key cannot express.
+    baseline_metric: Optional[str] = None
     #: ``"value"``, ``"difference"`` (scenario - baseline) or ``"ratio"``
     #: (scenario / baseline).
     mode: str = "value"
@@ -194,13 +218,20 @@ class ScenarioTarget:
             raise ValueError(f"unknown scenario-target mode {self.mode!r}")
         if self.mode != "value" and self.baseline is None:
             raise ValueError(f"scenario target {self.name!r} needs a baseline scenario")
+        if self.baseline_metric is not None and self.baseline is None:
+            raise ValueError(
+                f"scenario target {self.name!r} sets baseline_metric without a baseline"
+            )
 
     def value(self, metrics_by_scenario: Mapping[str, Mapping[str, float]]) -> float:
         """The derived value this target thresholds."""
-        primary = float(metrics_by_scenario[self.scenario][self.metric])
+        primary = resolve_metric(metrics_by_scenario[self.scenario], self.metric)
         if self.mode == "value":
             return primary
-        reference = float(metrics_by_scenario[self.baseline][self.metric])
+        reference = resolve_metric(
+            metrics_by_scenario[self.baseline],
+            self.baseline_metric if self.baseline_metric is not None else self.metric,
+        )
         if self.mode == "difference":
             return primary - reference
         if reference == 0.0:
@@ -291,6 +322,37 @@ SCENARIO_TARGETS: tuple[ScenarioTarget, ...] = (
         recorded={"duration=10": 0.067, "duration=45": 0.040},
     ),
     ScenarioTarget(
+        name="barometer-dsl-two-party-floor",
+        metric="quality_index:two-party",
+        scenario="barometer/dsl-2p-meet",
+        mode="value",
+        op="gt",
+        threshold=0.60,
+        note=(
+            "a representative DSL-tier household comfortably sustains a "
+            "two-party call: every barometer requirement sits near the good "
+            "end of its ramp"
+        ),
+        recorded={"duration=10": 0.796, "duration=45": 0.712},
+    ),
+    ScenarioTarget(
+        name="barometer-constrained-lte-5p-below-dsl-2p",
+        metric="quality_index:five-party-gallery",
+        scenario="barometer/constrained-lte-5p-meet",
+        baseline="barometer/dsl-2p-meet",
+        baseline_metric="quality_index:two-party",
+        mode="difference",
+        op="lt",
+        threshold=-0.10,
+        note=(
+            "the population gradient the barometer exists to expose: a "
+            "constrained-LTE household in a five-party gallery scores "
+            "materially below a DSL household in a two-party call -- access "
+            "tier and use case jointly, not either alone, decide quality"
+        ),
+        recorded={"duration=10": -0.364, "duration=45": -0.310},
+    ),
+    ScenarioTarget(
         name="codel-throughput-ratio",
         metric="median_down_mbps",
         scenario="codel-downlink-zoom",
@@ -305,14 +367,21 @@ SCENARIO_TARGETS: tuple[ScenarioTarget, ...] = (
 
 
 def score_scenario_metrics(
-    metrics_by_scenario: Mapping[str, Mapping[str, float]]
+    metrics_by_scenario: Mapping[str, Mapping[str, float]],
+    targets: Optional[tuple[ScenarioTarget, ...]] = None,
 ) -> dict[str, float]:
     """Per-scenario-target margins (positive = behaviour reproduced)."""
-    return {target.name: target.margin(metrics_by_scenario) for target in SCENARIO_TARGETS}
+    if targets is None:
+        targets = SCENARIO_TARGETS
+    return {target.name: target.margin(metrics_by_scenario) for target in targets}
 
 
 def all_scenario_targets_satisfied(
-    metrics_by_scenario: Mapping[str, Mapping[str, float]]
+    metrics_by_scenario: Mapping[str, Mapping[str, float]],
+    targets: Optional[tuple[ScenarioTarget, ...]] = None,
 ) -> bool:
     """True when every scenario target holds for these per-scenario metrics."""
-    return all(margin > 0.0 for margin in score_scenario_metrics(metrics_by_scenario).values())
+    return all(
+        margin > 0.0
+        for margin in score_scenario_metrics(metrics_by_scenario, targets).values()
+    )

@@ -19,9 +19,13 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
-from repro.calibrate.targets import SCENARIO_TARGETS, score_scenario_metrics
+from repro.calibrate.targets import (
+    SCENARIO_TARGETS,
+    ScenarioTarget,
+    score_scenario_metrics,
+)
 from repro.core.campaign import CampaignPolicy, run_campaign
 
 __all__ = ["verify_scenarios", "target_scenario_names", "write_scenario_report"]
@@ -31,30 +35,35 @@ __all__ = ["verify_scenarios", "target_scenario_names", "write_scenario_report"]
 DEFAULT_REPETITIONS = 3
 
 
-def target_scenario_names() -> list[str]:
-    """Every registered scenario the committed targets reference, sorted."""
+def target_scenario_names(
+    targets: Optional[Sequence[ScenarioTarget]] = None,
+) -> list[str]:
+    """Every registered scenario the (selected) targets reference, sorted."""
+    if targets is None:
+        targets = SCENARIO_TARGETS
     names = set()
-    for target in SCENARIO_TARGETS:
+    for target in targets:
         names.add(target.scenario)
         if target.baseline is not None:
             names.add(target.baseline)
     return sorted(names)
 
 
-def _targets_payload() -> list[dict[str, Any]]:
+def _targets_payload(targets: Sequence[ScenarioTarget]) -> list[dict[str, Any]]:
     return [
         {
             "name": t.name,
             "metric": t.metric,
             "scenario": t.scenario,
             "baseline": t.baseline,
+            **({"baseline_metric": t.baseline_metric} if t.baseline_metric else {}),
             "mode": t.mode,
             "op": t.op,
             "threshold": t.threshold,
             "note": t.note,
             "recorded": dict(t.recorded),
         }
-        for t in SCENARIO_TARGETS
+        for t in targets
     ]
 
 
@@ -71,8 +80,13 @@ def verify_scenarios(
     resume: bool = False,
     progress: Union[bool, None] = None,
     hosts: Optional[int] = None,
+    targets: Optional[Sequence[ScenarioTarget]] = None,
 ) -> dict[str, Any]:
     """Score the committed scenario targets; return the margin report.
+
+    ``targets`` restricts the run to a subset of
+    :data:`~repro.calibrate.targets.SCENARIO_TARGETS` (only the scenarios
+    those targets reference are simulated); the default scores them all.
 
     Runs every referenced scenario ``repetitions`` times (seeds ``seed`` ..
     ``seed + repetitions - 1``), aggregates each metric as the mean over
@@ -96,7 +110,10 @@ def verify_scenarios(
     # constants at import time -- a top-level import would cycle.
     from repro.experiments.scenario import scenario_conditions
 
-    names = target_scenario_names()
+    if targets is None:
+        targets = SCENARIO_TARGETS
+    targets = tuple(targets)
+    names = target_scenario_names(targets)
     conditions = scenario_conditions(
         names, duration_s=duration_s, repetitions=repetitions, seed=seed
     )
@@ -120,9 +137,9 @@ def verify_scenarios(
             key: result.summary(key).mean for key in keys
         }
 
-    margins = score_scenario_metrics(metrics_by_scenario)
+    margins = score_scenario_metrics(metrics_by_scenario, targets)
     target_rows = []
-    for target in SCENARIO_TARGETS:
+    for target in targets:
         value = target.value(metrics_by_scenario)
         target_rows.append(
             {
@@ -143,7 +160,7 @@ def verify_scenarios(
         "margins": margins,
         "results": target_rows,
         "metrics_by_scenario": metrics_by_scenario,
-        "targets": _targets_payload(),
+        "targets": _targets_payload(targets),
         "campaign": {
             "stats": results.stats.as_dict(),
             "quarantined": results.failures.as_dict(),

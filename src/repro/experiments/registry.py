@@ -17,6 +17,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from repro.barometer import campaign as barometer
 from repro.experiments import cascade, competition, disruption, modality, scenario, static
 
 __all__ = [
@@ -192,6 +193,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Cascaded SFU topology sweep (geo-distributed nodes, netem-profiled trunks)",
             "beyond-paper",
             cascade.run_cascade_sweep,
+        ),
+        ExperimentSpec(
+            "barometer_sweep",
+            "Population quality barometer (sampled households x VCAs x use cases)",
+            "beyond-paper",
+            barometer.run_barometer_sweep,
         ),
         ExperimentSpec(
             "fig15c",

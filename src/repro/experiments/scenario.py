@@ -156,6 +156,7 @@ def run_scenario_sweep(
     resume: bool = False,
     progress: Union[bool, None] = None,
     hosts: Optional[int] = None,
+    score_use_case: Optional[str] = None,
 ) -> TableResult:
     """Run every selected scenario ``repetitions`` times and tabulate.
 
@@ -167,6 +168,12 @@ def run_scenario_sweep(
     controls of :func:`repro.core.campaign.run_campaign` (timeouts, retries,
     quarantine, checkpointed resume, progress/ETA); ``hosts`` fans the sweep
     out over N lease-coordinated host processes sharing the store.
+
+    ``score_use_case`` names a barometer use case (see
+    :func:`repro.barometer.formula.list_use_cases`); when set, the table
+    gains a ``quality_index`` column scoring each scenario's aggregated
+    metrics under that use case's formula.  Scoring happens driver-side on
+    the tabulated means, so it composes with cached cells for free.
 
     The returned table carries the campaign's execution counters as
     ``table.campaign_stats`` (a dict), any quarantined units as
@@ -195,18 +202,31 @@ def run_scenario_sweep(
         progress=progress,
         hosts=hosts,
     )
+    formula = None
+    if score_use_case is not None:
+        from repro.barometer.formula import get_use_case
+
+        formula = get_use_case(score_use_case)
+    columns = ("scenario", *SWEEP_METRICS)
+    if formula is not None:
+        columns = (*columns, "quality_index")
     table = TableResult(
         table_id="scenario_sweep",
         title="Scenario library sweep (netem)",
-        columns=("scenario", *SWEEP_METRICS),
+        columns=columns,
     )
     for result in results:
         if not result.runs:  # every repetition quarantined
             continue
-        table.add_row(
+        row = [
             result.condition.name,
             *(result.summary(metric).mean for metric in SWEEP_METRICS),
-        )
+        ]
+        if formula is not None:
+            keys = sorted({key for run in result.runs for key in run})
+            means = {key: result.summary(key).mean for key in keys}
+            row.append(formula.quality_index(means))
+        table.add_row(*row)
     table.campaign_stats = results.stats.as_dict()
     table.failure_report = results.failures
     table.campaign_hosts = results.hosts

@@ -754,6 +754,30 @@ def _register_builtin_packs() -> None:
         tags=beyond + ("trace-pack",),
     ))
 
+    # Barometer anchors: two fixed, registered representatives of the
+    # population sampler's ISP tiers (repro.barometer.population), so the
+    # recorded quality-index targets have named, verifiable scenarios.  The
+    # sampled household grids themselves are compiled on the fly and never
+    # registered.
+    barometer = ("beyond-paper", "barometer")
+    register_scenario(ScenarioSpec(
+        name="barometer/dsl-2p-meet",
+        description="Representative DSL-tier household on a two-party Meet call "
+                    "(quality-barometer anchor: healthy wired access)",
+        vca="meet", direction="both", participants=2,
+        profile=("dsl", {"mean_mbps": 6.0}),
+        tags=barometer,
+    ))
+    register_scenario(ScenarioSpec(
+        name="barometer/constrained-lte-5p-meet",
+        description="Representative constrained-LTE-tier household in a five-party "
+                    "Meet gallery (quality-barometer stress cell)",
+        vca="meet", direction="both", participants=5,
+        profile=("lte", {"mean_mbps": 1.2}),
+        loss=("gilbert_elliott", {"mean_loss": 0.02, "mean_burst_packets": 8}),
+        tags=barometer,
+    ))
+
     # Cascade pack: the same call fabric over geo-distributed SFU cascades.
     cascade = ("beyond-paper", "cascade")
     register_scenario(ScenarioSpec(

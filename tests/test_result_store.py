@@ -344,6 +344,10 @@ class TestScenarioTargets:
         "codel-downlink-zoom": {"mean_queue_delay_s": 0.02, "median_down_mbps": 0.72},
         "droptail-downlink-zoom": {"mean_queue_delay_s": 0.30, "median_down_mbps": 0.75},
         "cascade/lossy-trunk-far-freeze-zoom": {"cascade_freeze_gap": 0.05},
+        # Barometer anchors score through the quality_index:* derived
+        # metrics; sparse payloads exercise the formula's renormalization.
+        "barometer/dsl-2p-meet": {"mean_received_fps": 24.0, "freeze_ratio": 0.0},
+        "barometer/constrained-lte-5p-meet": {"mean_received_fps": 4.0, "freeze_ratio": 0.5},
     }
 
     def test_committed_targets_reference_registered_scenarios(self):
@@ -357,6 +361,12 @@ class TestScenarioTargets:
         assert margins["codel-vs-droptail-queue-delay"] == pytest.approx(0.28 - 0.03)
         assert margins["codel-throughput-ratio"] == pytest.approx(0.72 / 0.75 - 0.8)
         assert margins["lossy-trunk-far-region-freeze"] == pytest.approx(0.05 - 0.01)
+        # dsl-2p saturates both present requirements (index 1.0); the
+        # constrained five-party payload bottoms both out (index 0.0).
+        assert margins["barometer-dsl-two-party-floor"] == pytest.approx(1.0 - 0.60)
+        assert margins["barometer-constrained-lte-5p-below-dsl-2p"] == pytest.approx(
+            -0.10 - (0.0 - 1.0)
+        )
         assert all(m > 0 for m in margins.values())
 
     def test_margin_flips_when_behaviour_regresses(self):
