@@ -126,9 +126,10 @@ def cmd_sample(args) -> int:
         counts[household.tier] = counts.get(household.tier, 0) + 1
         loss = f" loss={household.loss[1]}" if household.loss else ""
         jitter = f" jitter={household.jitter[1]}" if household.jitter else ""
+        workload = f" vs:{household.workload[0]}" if household.workload else ""
         kind, params = household.profile
         print(f"  {household.uid} {household.tier:16s} {kind}/{household.direction} "
-              f"{params}{loss}{jitter}")
+              f"{params}{loss}{jitter}{workload}")
     print(f"\nsampled {len(households)} households (seed {args.seed}): "
           + ", ".join(f"{tier}={count}" for tier, count in sorted(counts.items())))
     if args.json:

@@ -6,7 +6,11 @@ Modes:
 * ``--list`` (default) prints the registry: every scenario's pack tags,
   VCA, workload and network condition.
 * ``--run NAME [NAME ...]`` runs specific scenarios and prints their
-  metrics (one line per repetition plus the mean).
+  metrics (one line per repetition plus the mean).  ``--workload
+  KIND[:param=val,...]`` overrides the cross-traffic axis of every run
+  scenario (e.g. ``--workload tcp_bulk:flows=2,direction=down``,
+  ``--workload streaming:app=netflix``, ``--workload none``), so any
+  registered netem condition composes with any competitor ad hoc.
 * ``--sweep [--tag TAG]`` runs a whole pack through the campaign process
   pool and prints the summary table (the ``scenario_sweep`` experiment).
 * ``--score USE_CASE`` (with --run / --sweep) additionally scores every
@@ -106,6 +110,29 @@ def _print_campaign(stats, failures, hosts=None) -> None:
             )
 
 
+def parse_workload(text):
+    """``KIND[:param=val,...]`` -> a ScenarioSpec workload component.
+
+    Values parse as int, then float, then string; ``none`` (bare) clears the
+    scenario's workload.  Validation happens in ``ScenarioSpec.__post_init__``
+    when the override is applied.
+    """
+    kind, _, rest = text.partition(":")
+    params = {}
+    for pair in filter(None, rest.split(",")):
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise ValueError(f"workload param {pair!r} is not param=val")
+        for cast in (int, float):
+            try:
+                raw = cast(raw)
+                break
+            except ValueError:
+                continue
+        params[key.strip()] = raw
+    return (kind.strip(), params)
+
+
 def cmd_list(args) -> int:
     from repro.netem.scenarios import list_scenarios
 
@@ -124,6 +151,8 @@ def cmd_list(args) -> int:
         if spec.cascade is not None:
             kind, params = spec.cascade
             extras.append(f"cascade:{kind}x{params.get('regions', 2)}")
+        if spec.workload is not None:
+            extras.append(f"vs:{spec.workload[0]}")
         workload = f"{spec.participants}p {spec.vca}"
         print(f"  {spec.name:28s} [{', '.join(spec.tags)}] {workload:12s} "
               f"{condition}/{spec.direction}" + (f" + {', '.join(extras)}" if extras else ""))
@@ -132,6 +161,8 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
+    import dataclasses
+
     from repro.netem.scenarios import get_scenario, run_scenario
 
     formula = None
@@ -139,9 +170,12 @@ def cmd_run(args) -> int:
         from repro.barometer.formula import get_use_case
 
         formula = get_use_case(args.score)
+    workload = parse_workload(args.workload) if args.workload else None
     payload = {}
     for name in args.run:
         spec = get_scenario(name)
+        if workload is not None:
+            spec = dataclasses.replace(spec, workload=workload)
         print(f"== {spec.name}: {spec.description}")
         per_rep = []
         for repetition in range(args.repetitions):
@@ -357,6 +391,10 @@ def main() -> int:
     mode.add_argument("--manifest", metavar="FILE",
                       help="write the registry spec-hash manifest (no simulation)")
     parser.add_argument("--tag", default=None, help="filter by pack tag (paper-baseline / beyond-paper)")
+    parser.add_argument("--workload", default=None, metavar="KIND[:param=val,...]",
+                        help="override the cross-traffic workload of --run scenarios "
+                             "(vca / tcp_bulk / streaming / none; e.g. "
+                             "tcp_bulk:flows=2,direction=down)")
     parser.add_argument("--score", default=None, metavar="USE_CASE",
                         help="score --run / --sweep output under a barometer use-case "
                              "formula (adds quality_index; see repro.barometer)")
@@ -398,6 +436,8 @@ def main() -> int:
             parser.error("--hosts and --workers are mutually exclusive")
         if args.no_cache:
             parser.error("--hosts requires the store cache (drop --no-cache)")
+    if args.workload is not None and not args.run:
+        parser.error("--workload applies to --run scenarios")
     if args.score is not None:
         if not (args.run or args.sweep):
             parser.error("--score applies to --run / --sweep output")

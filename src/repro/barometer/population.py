@@ -5,8 +5,12 @@ DSL, LTE, a constrained-LTE low end, LEO satellite, the committed
 Verizon-LTE trace pack -- as plain data: its population share, which side
 of the access link is shaped, a capacity-profile distribution over the
 existing netem generators (``constant`` / ``dsl`` / ``lte`` / ``wifi`` /
-``leo`` / ``trace``), and optional loss/jitter mixes (each applied with a
-per-household probability, parameters drawn from declared ranges).
+``leo`` / ``trace``), optional loss/jitter mixes (each applied with a
+per-household probability, parameters drawn from declared ranges), and an
+optional cross-traffic ``workload`` mix -- the per-household probability
+that a Netflix stream, a bulk TCP transfer, or a second call shares the
+access link with the measured call, compiled through the scenario API's
+``workload`` axis.
 
 ``sample_households(n, seed)`` draws ``n`` households.  Every household's
 draws come from its own :class:`random.Random` stream keyed on ``(seed,
@@ -51,6 +55,15 @@ class IspTier:
     probability of carrying that impairment at all; their remaining params
     follow the same value-or-range convention and compile into the
     scenario component specs (``gilbert_elliott`` loss, ``delay`` jitter).
+
+    ``workload`` declares the tier's cross-traffic habit: ``"prob"`` is the
+    per-household probability that someone else in the household competes
+    with the call at all, and ``"mix"`` is a weighted list of
+    ``(kind, params[, weight])`` workload component specs (the
+    :class:`~repro.netem.scenarios.ScenarioSpec` workload grammar) one of
+    which is drawn for such a household.  Workload draws happen *after* the
+    loss/jitter draws, so adding a workload to a tier never reshuffles the
+    access-link parameters existing grids sampled.
     """
 
     name: str
@@ -62,6 +75,7 @@ class IspTier:
     profile: tuple[str, Mapping[str, Any]] = ("constant", {"mbps": 10.0})
     loss: Optional[Mapping[str, Any]] = None
     jitter: Optional[Mapping[str, Any]] = None
+    workload: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.share <= 0.0:
@@ -75,6 +89,16 @@ class IspTier:
             value = getattr(self, attr)
             if value is not None:
                 object.__setattr__(self, attr, dict(value))
+        if self.workload is not None:
+            workload = dict(self.workload)
+            mix = tuple(
+                (str(entry[0]), dict(entry[1]), float(entry[2]) if len(entry) > 2 else 1.0)
+                for entry in workload.get("mix", ())
+            )
+            if not mix:
+                raise ValueError(f"tier {self.name!r} workload needs a non-empty mix")
+            workload["mix"] = mix
+            object.__setattr__(self, "workload", workload)
 
 
 @dataclass(frozen=True)
@@ -87,6 +111,7 @@ class Household:
     profile: tuple[str, dict[str, Any]]
     loss: Optional[tuple[str, dict[str, Any]]] = None
     jitter: Optional[tuple[str, dict[str, Any]]] = None
+    workload: Optional[tuple[str, dict[str, Any]]] = None
 
     @property
     def uid(self) -> str:
@@ -101,6 +126,7 @@ class Household:
             "profile": [self.profile[0], dict(self.profile[1])],
             "loss": [self.loss[0], dict(self.loss[1])] if self.loss else None,
             "jitter": [self.jitter[0], dict(self.jitter[1])] if self.jitter else None,
+            "workload": [self.workload[0], dict(self.workload[1])] if self.workload else None,
         }
 
 
@@ -124,6 +150,10 @@ DEFAULT_TIERS: tuple[IspTier, ...] = (
         direction="up",
         profile=("constant", {"mbps": [2.0, 8.0]}),
         loss={"prob": 0.2, "mean_loss": [0.002, 0.01], "mean_burst_packets": [4.0, 10.0]},
+        workload={"prob": 0.25, "mix": [
+            ("streaming", {"app": "netflix"}, 2.0),
+            ("tcp_bulk", {"flows": 1, "direction": "down"}, 1.0),
+        ]},
     ),
     IspTier(
         name="dsl",
@@ -156,6 +186,7 @@ DEFAULT_TIERS: tuple[IspTier, ...] = (
         direction="both",
         profile=("wifi", {"mean_mbps": [2.5, 6.0]}),
         loss={"prob": 0.5, "mean_loss": [0.005, 0.03], "mean_burst_packets": [4.0, 12.0]},
+        workload={"prob": 0.35, "mix": [("streaming", {"app": "youtube"}, 1.0)]},
     ),
     IspTier(
         name="leo",
@@ -249,6 +280,25 @@ def sample_households(
                     for key, value in sorted(tier.jitter.items())
                     if key != "prob"
                 })
+        # Workload draws come last: a tier without a workload consumes no
+        # extra randomness, so pre-workload grids re-sample byte-identically.
+        workload: Optional[tuple[str, dict[str, Any]]] = None
+        if tier.workload is not None:
+            prob = float(tier.workload.get("prob", 1.0))
+            gate = rng.random()
+            if gate < prob:
+                mix = tier.workload["mix"]
+                point = rng.uniform(0.0, sum(weight for _, _, weight in mix))
+                acc = 0.0
+                kind, params, _ = mix[-1]
+                for entry_kind, entry_params, weight in mix:
+                    acc += weight
+                    if point <= acc:
+                        kind, params = entry_kind, entry_params
+                        break
+                workload = (kind, {
+                    key: _draw(rng, value) for key, value in sorted(params.items())
+                })
         households.append(
             Household(
                 index=index,
@@ -257,6 +307,7 @@ def sample_households(
                 profile=profile,
                 loss=loss,
                 jitter=jitter,
+                workload=workload,
             )
         )
     return households
@@ -295,6 +346,7 @@ def household_scenario(
         profile=household.profile,
         loss=household.loss,
         jitter=household.jitter,
+        workload=household.workload,
         duration_s=float(duration_s),
         tags=("barometer", household.tier),
     )

@@ -10,8 +10,8 @@ fig14.
 
 :class:`ScenarioTarget` promotes the strongest *directional* assertions of
 the netem scenario benchmarks (bursty-vs-i.i.d. freeze gap, LTE-vs-static
-rate switching, CoDel-vs-drop-tail queueing delay) into the same recorded
-form: a comparison between registered scenarios with a committed threshold
+rate switching, CoDel-vs-drop-tail queueing delay, the competition pack's
+cross-traffic share bands) into the same recorded form: a comparison between registered scenarios with a committed threshold
 and a margin, scored by :func:`repro.calibrate.verify.verify_scenarios`, so
 a netem regression is quantified instead of merely sign-checked.
 """
@@ -351,6 +351,61 @@ SCENARIO_TARGETS: tuple[ScenarioTarget, ...] = (
             "tier and use case jointly, not either alone, decide quality"
         ),
         recorded={"duration=10": -0.364, "duration=45": -0.310},
+    ),
+    ScenarioTarget(
+        name="competition-teams-vs-zoom-down-share-ceiling",
+        metric="share_down",
+        scenario="competition/teams-vs-zoom-droptail",
+        mode="value",
+        op="lt",
+        threshold=0.6,
+        note=(
+            "the fig10 calibration cell on the workload axis: Teams is "
+            "passive on a 0.5 Mbps drop-tail downlink when a Zoom call "
+            "joins, keeping under 60% of the link"
+        ),
+        recorded={"duration=10": 0.368, "duration=45": 0.355},
+    ),
+    ScenarioTarget(
+        name="competition-teams-vs-zoom-down-share-floor",
+        metric="share_down",
+        scenario="competition/teams-vs-zoom-droptail",
+        mode="value",
+        op="gt",
+        threshold=0.15,
+        note=(
+            "the band's other side: passive is not starved -- Teams keeps a "
+            "non-trivial downlink share against Zoom's aggression"
+        ),
+        recorded={"duration=10": 0.368, "duration=45": 0.355},
+    ),
+    ScenarioTarget(
+        name="competition-codel-vs-droptail-vca-share",
+        metric="share_down",
+        scenario="competition/zoom-vs-tcp-codel",
+        baseline="competition/zoom-vs-tcp-droptail",
+        mode="difference",
+        op="gt",
+        threshold=0.0,
+        note=(
+            "CoDel's early drops cost the loss-averse TCP competitor more "
+            "than the loss-tolerant VCA, so the VCA's downlink share under "
+            "TCP bulk is higher with CoDel than with drop-tail"
+        ),
+        recorded={"duration=10": 0.024, "duration=45": 0.021},
+    ),
+    ScenarioTarget(
+        name="competition-zoom-holds-uplink-vs-tcp",
+        metric="share_up",
+        scenario="competition/zoom-vs-tcp-droptail",
+        mode="value",
+        op="gt",
+        threshold=0.8,
+        note=(
+            "a bulk TCP download contends for the downlink only; the "
+            "measured call keeps essentially all of its uplink"
+        ),
+        recorded={"duration=10": 0.954, "duration=45": 0.961},
     ),
     ScenarioTarget(
         name="codel-throughput-ratio",

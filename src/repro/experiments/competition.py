@@ -12,12 +12,24 @@ Reproduces:
 * **Figure 13** -- Zoom's probing bursts hurting the competing TCP flow,
 * **Figure 14** -- Zoom vs Netflix on a 0.5 Mbps downlink, including the
   number of TCP connections Netflix opens.
+
+The table/figure drivers for Figures 8/10/12/14 (``run_vca_vs_vca``,
+``run_vca_vs_tcp``, ``run_vca_vs_streaming``) are *deprecated adapters*
+over the scenario API's ``workload`` axis: each call compiles a
+:class:`~repro.netem.scenarios.ScenarioSpec` with the matching cross-traffic
+component (see :func:`workload_scenario_spec`) and reconstructs the legacy
+output shape from the :class:`~repro.netem.scenarios.ScenarioRun`.  New code
+should build workload specs directly -- they compose with every netem
+condition and cache through the result store.  ``run_competition`` and the
+timeseries drivers (Figures 9/11/13) keep the original fixed two-server
+topology; the calibration harness pins its fig8/10/12 metrics to it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +44,13 @@ from repro.core.profiles import static_profile
 from repro.core.results import FigureSeries, TableResult
 from repro.net.simulator import Simulator
 from repro.net.topology import build_competition_topology
+from repro.netem.scenarios import (
+    CALL_START_S,
+    WORKLOAD_CLIENT,
+    ScenarioRun,
+    ScenarioSpec,
+    run_scenario,
+)
 from repro.vca.call import Call, CallConfig
 from repro.experiments.static import DEFAULT_VCAS
 
@@ -44,6 +63,7 @@ __all__ = [
     "run_vca_vs_tcp",
     "run_zoom_burst_trace",
     "run_vca_vs_streaming",
+    "workload_scenario_spec",
 ]
 
 #: Timeline constants from the paper: the incumbent call is established
@@ -196,6 +216,68 @@ def run_competition(
     )
 
 
+def workload_scenario_spec(
+    incumbent_vca: str,
+    workload_kind: str,
+    workload_params: Mapping[str, Any],
+    capacity_mbps: float,
+    competitor_duration_s: float = COMPETITOR_DURATION_S,
+) -> ScenarioSpec:
+    """The ScenarioSpec equivalent of one legacy competition experiment.
+
+    Reproduces the paper's Section 5 timeline on the scenario API: both
+    directions of the access link shaped to ``capacity_mbps``, the workload
+    starting ``COMPETITOR_START_S - CALL_START_S`` seconds after the measured
+    call joins and running for ``competitor_duration_s``, then a
+    :data:`TAIL_S` cool-down with the incumbent alone.  This is the spec the
+    deprecated ``run_vca_vs_*`` adapters run; migrating callers should build
+    it (or their own variant) and use
+    :func:`repro.netem.scenarios.run_scenario` directly.
+    """
+    params = dict(workload_params)
+    params["start_offset_s"] = COMPETITOR_START_S - CALL_START_S
+    params["duration_s"] = float(competitor_duration_s)
+    label = params.get("app", params.get("direction", workload_kind))
+    return ScenarioSpec(
+        name=f"adapter/{incumbent_vca}-vs-{workload_kind}-{label}",
+        description=(
+            f"Legacy competition adapter: {incumbent_vca} vs {workload_kind} "
+            f"({label}) on a {capacity_mbps} Mbps symmetric link"
+        ),
+        vca=incumbent_vca,
+        direction="both",
+        profile=("constant", {"mbps": float(capacity_mbps)}),
+        workload=(workload_kind, params),
+        duration_s=(COMPETITOR_START_S - CALL_START_S) + float(competitor_duration_s) + TAIL_S,
+    )
+
+
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is a deprecated adapter over the scenario workload axis; "
+        "build a ScenarioSpec with workload=(kind, params) (see "
+        "workload_scenario_spec) and run_scenario instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _run_workload(
+    incumbent_vca: str,
+    workload_kind: str,
+    workload_params: Mapping[str, Any],
+    capacity_mbps: float,
+    competitor_duration_s: float,
+    seed: int,
+) -> ScenarioRun:
+    spec = workload_scenario_spec(
+        incumbent_vca, workload_kind, workload_params, capacity_mbps, competitor_duration_s
+    )
+    # collect_stats=False mirrors the legacy harness's incumbent CallConfig;
+    # the adapters only read packet captures, never per-second stats.
+    return run_scenario(spec, seed=seed, collect_stats=False)
+
+
 def run_vca_vs_vca(
     direction: str = "up",
     capacity_mbps: float = 0.5,
@@ -205,7 +287,14 @@ def run_vca_vs_vca(
     competitor_duration_s: float = COMPETITOR_DURATION_S,
     seed: int = 0,
 ) -> TableResult:
-    """Figures 8 / 10: link share of each incumbent against each competitor."""
+    """Figures 8 / 10: link share of each incumbent against each competitor.
+
+    .. deprecated:: adapter over the scenario workload axis (see module docs).
+       Shares match the workload-scenario path exactly; for
+       ``competitor_duration_s`` below 30 s the competition window's lead-in
+       is ``min(10 s, duration / 3)`` instead of the legacy flat 10 s.
+    """
+    _warn_deprecated("run_vca_vs_vca")
     figure_id = "fig8" if direction == "up" else "fig10"
     table = TableResult(
         table_id=figure_id,
@@ -216,12 +305,13 @@ def run_vca_vs_vca(
         for competitor in competitors:
             shares = []
             for repetition in range(repetitions):
-                run = run_competition(
+                run = _run_workload(
                     incumbent,
-                    competitor,
+                    "vca",
+                    {"app": competitor},
                     capacity_mbps,
-                    competitor_duration_s=competitor_duration_s,
-                    seed=seed + repetition,
+                    competitor_duration_s,
+                    seed + repetition,
                 )
                 shares.append(run.share(direction))
             summary = aggregate_runs(shares)
@@ -280,7 +370,12 @@ def run_vca_vs_tcp(
     competitor_duration_s: float = COMPETITOR_DURATION_S,
     seed: int = 0,
 ) -> TableResult:
-    """Figure 12: the share iPerf3 obtains against each incumbent VCA."""
+    """Figure 12: the share iPerf3 obtains against each incumbent VCA.
+
+    .. deprecated:: adapter over the scenario workload axis (see module docs
+       and :func:`run_vca_vs_vca` for the window tolerance).
+    """
+    _warn_deprecated("run_vca_vs_tcp")
     table = TableResult(
         table_id="fig12",
         title=f"fig12: iPerf3 share of a {capacity_mbps} Mbps link vs incumbent VCAs",
@@ -290,12 +385,13 @@ def run_vca_vs_tcp(
         for direction in ("up", "down"):
             shares = []
             for repetition in range(repetitions):
-                run = run_competition(
+                run = _run_workload(
                     vca,
-                    f"iperf-{direction}",
+                    "tcp_bulk",
+                    {"flows": 1, "direction": direction},
                     capacity_mbps,
-                    competitor_duration_s=competitor_duration_s,
-                    seed=seed + repetition,
+                    competitor_duration_s,
+                    seed + repetition,
                 )
                 shares.append(run.share(direction))
             summary = aggregate_runs(shares)
@@ -330,20 +426,27 @@ def run_vca_vs_streaming(
 
     Returns the two downstream traces plus (for Netflix) the number of TCP
     connections open per chunk over time.
+
+    .. deprecated:: adapter over the scenario workload axis (see module docs).
     """
-    run = run_competition(vca, app, capacity_mbps, competitor_duration_s, seed=seed)
+    _warn_deprecated("run_vca_vs_streaming")
+    run = _run_workload(
+        vca, "streaming", {"app": app}, capacity_mbps, competitor_duration_s, seed
+    )
     out = {}
-    for label, data in ((vca, run.incumbent_series("rx")), (app, run.competitor_series("rx"))):
+    for label, host in ((vca, "C1"), (app, WORKLOAD_CLIENT)):
+        data = run.capture.aggregate(host, "rx").timeseries(0.0, run.end_s)
         figure = FigureSeries("fig14a", label, "time (s)", "downstream bitrate (Mbps)")
         for t, value in zip(*data):
             figure.add_point(float(t), float(value))
         out[label] = figure
-    if run.netflix is not None:
+    player = run.workload_apps[0] if run.workload_apps else None
+    if isinstance(player, NetflixPlayer):
         connections = FigureSeries("fig14b", "tcp-connections", "time (s)", "parallel TCP connections")
-        for t, count in run.netflix.connection_log:
+        for t, count in player.connection_log:
             connections.add_point(float(t), float(count))
         connections_total = FigureSeries("fig14b-total", "connections-opened", "time (s)", "count")
-        connections_total.add_point(run.competitor_end_s, float(run.netflix.connections_opened))
+        connections_total.add_point(run.workload_end_s, float(player.connections_opened))
         out["tcp_connections"] = connections
         out["tcp_connections_total"] = connections_total
     return out

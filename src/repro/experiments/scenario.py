@@ -55,6 +55,15 @@ SWEEP_METRICS = (
     "p95_queue_delay_s",
 )
 
+#: Competition columns, appended only when a selected spec has a workload --
+#: packs without cross-traffic keep their exact historical column set.
+WORKLOAD_SWEEP_METRICS = (
+    "share_up",
+    "share_down",
+    "competitor_up_mbps",
+    "competitor_down_mbps",
+)
+
 
 def scenario_cache_payload(
     spec: ScenarioSpec, duration_s: Optional[float] = None
@@ -65,11 +74,20 @@ def scenario_cache_payload(
     *any* field edit -- a shaping level, a loss parameter, the VCA -- changes
     the hash; the registry name alone never would.  ``duration_s`` records
     the effective call duration (``None`` resolves to the spec's own).
+
+    A ``workload=None`` spec omits the workload key entirely: adding the
+    workload axis must not re-key the store for the (vast) workload-free
+    majority, so a warm store stays warm across the API change.  Specs that
+    *do* carry a workload hash it like any other component, so editing a
+    workload re-keys exactly those cells.
     """
     duration = float(duration_s) if duration_s is not None else spec.duration_s
+    spec_payload = dataclasses.asdict(spec)
+    if spec_payload.get("workload") is None:
+        del spec_payload["workload"]
     payload: dict[str, Any] = {
         "kind": "scenario",
-        "spec": dataclasses.asdict(spec),
+        "spec": spec_payload,
         "duration_s": duration,
     }
     trace_content = _trace_content_hashes(spec)
@@ -169,6 +187,11 @@ def run_scenario_sweep(
     quarantine, checkpointed resume, progress/ETA); ``hosts`` fans the sweep
     out over N lease-coordinated host processes sharing the store.
 
+    When any selected scenario carries a ``workload``, the table grows the
+    :data:`WORKLOAD_SWEEP_METRICS` competition columns (share and competitor
+    throughput); selections without cross-traffic keep the historical column
+    set, so existing packs see no column churn.
+
     ``score_use_case`` names a barometer use case (see
     :func:`repro.barometer.formula.list_use_cases`); when set, the table
     gains a ``quality_index`` column scoring each scenario's aggregated
@@ -207,7 +230,13 @@ def run_scenario_sweep(
         from repro.barometer.formula import get_use_case
 
         formula = get_use_case(score_use_case)
-    columns = ("scenario", *SWEEP_METRICS)
+    # The competition columns appear only when the selection carries a
+    # workload anywhere; workload-free scenarios in a mixed selection report
+    # NaN there (their runs never produce the metrics).
+    sweep_metrics = SWEEP_METRICS
+    if any(get_scenario(name).workload is not None for name in names):
+        sweep_metrics = (*SWEEP_METRICS, *WORKLOAD_SWEEP_METRICS)
+    columns = ("scenario", *sweep_metrics)
     if formula is not None:
         columns = (*columns, "quality_index")
     table = TableResult(
@@ -220,7 +249,12 @@ def run_scenario_sweep(
             continue
         row = [
             result.condition.name,
-            *(result.summary(metric).mean for metric in SWEEP_METRICS),
+            *(
+                result.summary(metric).mean
+                if any(metric in run for run in result.runs)
+                else float("nan")
+                for metric in sweep_metrics
+            ),
         ]
         if formula is not None:
             keys = sorted({key for run in result.runs for key in run})

@@ -157,12 +157,22 @@ def build_access_topology(
     access_delay_s: float = DEFAULT_ACCESS_DELAY_S,
     queue_bytes: int = DEFAULT_QUEUE_BYTES,
     fused: bool = True,
+    local_client_names: Sequence[str] = (),
 ) -> AccessTopology:
     """Build the single-shaped-client topology.
 
     ``client_names[0]`` is the measured client (the paper's C1): it sits
     behind the shaped access link.  All other clients and all servers are
     reachable over unconstrained, delay-only paths.
+
+    ``local_client_names`` home additional hosts *behind the same shaped
+    access link* as the measured client: they transmit through its uplink and
+    receive through its downlink, so the access link is the contended
+    bottleneck between the measured call and whatever those hosts run.  This
+    is the substrate of the ``ScenarioSpec.workload`` axis (a competing VCA
+    client, iPerf flows, a streaming player next to C1 on the home network).
+    When empty (the default) the wiring is exactly the classic single-client
+    layout.
 
     With ``fused=True`` (the default) the delay-only paths are source-routed:
     a host's egress resolves the destination immediately and delivers over a
@@ -190,7 +200,6 @@ def build_access_topology(
     uplink = Link(sim, f"{measured}-uplink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes)
     downlink = Link(sim, f"{measured}-downlink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes)
     uplink.connect(home_router.receive)
-    downlink.connect(c1.receive)
     c1.set_egress(uplink.send, batch=uplink.send_batch)
     home_router.add_link_route(measured, downlink)
     home_router.set_default_delay_route(
@@ -199,6 +208,26 @@ def build_access_topology(
     core.add_delay_route(
         measured, home_router.receive, wan_delay_s, receiver_batch=home_router.receive_batch
     )
+
+    if local_client_names:
+        # Workload hosts share C1's access link: they transmit straight into
+        # the uplink queue and a zero-delay LAN demux fans the shared
+        # downlink out by destination (delay-0 routes dispatch directly, so
+        # arrival times are unchanged for C1).
+        lan = Router(sim, f"lan-{measured}")
+        downlink.connect(lan.receive)
+        lan.add_delay_route(measured, c1.receive, 0.0, receiver_batch=c1.receive_batch)
+        for name in local_client_names:
+            host = Host(sim, name)
+            hosts[name] = host
+            host.set_egress(uplink.send, batch=uplink.send_batch)
+            lan.add_delay_route(name, host.receive, 0.0, receiver_batch=host.receive_batch)
+            home_router.add_link_route(name, downlink)
+            core.add_delay_route(
+                name, home_router.receive, wan_delay_s, receiver_batch=home_router.receive_batch
+            )
+    else:
+        downlink.connect(c1.receive)
 
     server_names = (server_name, *extra_server_names)
 
@@ -236,6 +265,8 @@ def build_access_topology(
             for client in remote_clients:
                 egress.add_route(client.name, client.receive, client.receive_batch)
             egress.add_route(measured, home_router.receive, home_router.receive_batch)
+            for local_name in local_client_names:
+                egress.add_route(local_name, home_router.receive, home_router.receive_batch)
             server.set_egress(egress.send, batch=egress.send_batch)
         else:
             server.set_egress(pipe.send, batch=pipe.send_batch)
@@ -364,6 +395,9 @@ def build_cascade_topology(
     lan_delay_s: float = DEFAULT_LAN_DELAY_S,
     trunk_delay_s: float = DEFAULT_TRUNK_DELAY_S,
     queue_bytes: int = DEFAULT_QUEUE_BYTES,
+    local_client_names: Sequence[str] = (),
+    extra_client_names: Sequence[str] = (),
+    extra_server_names: Sequence[str] = (),
 ) -> CascadeTopology:
     """Build the geo-distributed cascade topology for a ``CascadePlan``.
 
@@ -376,6 +410,14 @@ def build_cascade_topology(
     access topology.  Each trunk edge becomes a *pair* of directed
     :class:`~repro.net.link.Link` instances named ``trunk-{a}>{b}`` with
     ``trunk_delay_s`` propagation, shapeable and impairable per direction.
+
+    The workload axis composes with cascades through the same three hooks as
+    the access builder: ``local_client_names`` home hosts behind the measured
+    client's shaped access link (shared uplink/downlink, zero-delay LAN
+    demux), while ``extra_client_names`` / ``extra_server_names`` hang
+    unconstrained counterparties off the measured region's core (WAN and LAN
+    delay respectively).  All three default to empty, leaving the
+    workload-free cascade wiring byte-identical.
     """
     regions = list(plan.regions)
     if not regions:
@@ -435,7 +477,6 @@ def build_cascade_topology(
                     sim, f"{measured}-downlink", UNCONSTRAINED_BPS, access_delay_s, queue_bytes
                 )
                 uplink.connect(home_router.receive)
-                downlink.connect(c1.receive)
                 c1.set_egress(uplink.send, batch=uplink.send_batch)
                 home_router.add_link_route(measured, downlink)
                 home_router.set_default_delay_route(
@@ -453,6 +494,31 @@ def build_cascade_topology(
                     lan_delay_s + wan_delay_s,
                     receiver_batch=home_router.receive_batch,
                 )
+                if local_client_names:
+                    # Same shared-access wiring as build_access_topology:
+                    # workload hosts feed the measured uplink directly and a
+                    # zero-delay LAN demux splits the shared downlink.
+                    lan = Router(sim, f"lan-{measured}")
+                    downlink.connect(lan.receive)
+                    lan.add_delay_route(
+                        measured, c1.receive, 0.0, receiver_batch=c1.receive_batch
+                    )
+                    for local_name in local_client_names:
+                        local = Host(sim, local_name)
+                        hosts[local_name] = local
+                        local.set_egress(uplink.send, batch=uplink.send_batch)
+                        lan.add_delay_route(
+                            local_name, local.receive, 0.0, receiver_batch=local.receive_batch
+                        )
+                        home_router.add_link_route(local_name, downlink)
+                        core.add_delay_route(
+                            local_name,
+                            home_router.receive,
+                            wan_delay_s,
+                            receiver_batch=home_router.receive_batch,
+                        )
+                else:
+                    downlink.connect(c1.receive)
                 continue
             client = Host(sim, client_name)
             hosts[client_name] = client
@@ -472,6 +538,31 @@ def build_cascade_topology(
                 lan_delay_s + wan_delay_s,
                 receiver_batch=client.receive_batch,
             )
+
+    # Workload counterparties hang off the measured region's core: extra
+    # clients one WAN hop away, extra servers co-located (LAN delay) --
+    # mirroring the access builder's remote wiring.
+    region0_core = cores[regions[0].node]
+    for name in extra_client_names:
+        host = Host(sim, name)
+        hosts[name] = host
+        pipe = DelayPipe(
+            sim, region0_core.receive, wan_delay_s, receiver_batch=region0_core.receive_batch
+        )
+        host.set_egress(pipe.send, batch=pipe.send_batch)
+        region0_core.add_delay_route(
+            name, host.receive, wan_delay_s, receiver_batch=host.receive_batch
+        )
+    for name in extra_server_names:
+        server = Host(sim, name)
+        hosts[name] = server
+        pipe = DelayPipe(
+            sim, region0_core.receive, lan_delay_s, receiver_batch=region0_core.receive_batch
+        )
+        server.set_egress(pipe.send, batch=pipe.send_batch)
+        region0_core.add_delay_route(
+            name, server.receive, lan_delay_s, receiver_batch=server.receive_batch
+        )
 
     assert home_router is not None and uplink is not None and downlink is not None
     return CascadeTopology(

@@ -4,20 +4,26 @@ A :class:`ScenarioSpec` names one cell of the (capacity profile x impairment
 x VCA x workload) space in plain data -- strings and numbers only -- so
 specs are picklable, diffable, and fan out over
 :func:`repro.core.campaign.run_campaign` without closures.  The registry
-ships two packs:
+ships three packs:
 
 * **paper-baseline** -- conditions the paper itself measured (unconstrained,
   static shaping, a transient disruption, a gallery-mode multiparty call),
-  expressed as scenarios so the two harnesses stay comparable, and
+  expressed as scenarios so the two harnesses stay comparable,
 * **beyond-paper** -- the conditions follow-up measurement work showed to be
   discriminating (trace-driven LTE/Wi-Fi/DSL/LEO capacity, bursty vs i.i.d.
-  loss at equal mean, delay jitter, CoDel vs drop-tail).
+  loss at equal mean, delay jitter, CoDel vs drop-tail), and
+* **competition** -- the paper's Section 5 cross-traffic cells expressed
+  through the ``workload`` axis (a competing VCA call, TCP bulk flows, or a
+  streaming player sharing the measured client's access link).
 
 ``run_scenario`` realises a spec on the access topology: the measured
 client C1 sits behind the shaped + impaired link, everything else is clean.
-Stochastic impairments get private RNG seeds derived from the run seed, so
-scenario runs are reproducible and the fast/legacy pipeline equivalence is
-preserved under impairments.
+A ``workload`` component additionally homes a competing client ``F1``
+*behind the same shaped link* (its counterparties ``F2`` / ``S2`` are clean
+and remote), so any profile/loss/jitter/aqm/cascade condition composes with
+any competitor.  Stochastic impairments get private RNG seeds derived from
+the run seed, so scenario runs are reproducible and the fast/legacy
+pipeline equivalence is preserved under impairments.
 """
 
 from __future__ import annotations
@@ -28,7 +34,11 @@ from typing import Any, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.apps.iperf import IperfFlow
+from repro.apps.netflix import NetflixPlayer
+from repro.apps.youtube import YouTubePlayer
 from repro.core.capture import PacketCapture
+from repro.core.metrics import link_share, tx_loss_rate
 from repro.core.orchestrator import CallOrchestrator
 from repro.core.profiles import synthetic_profile
 from repro.media.layout import ViewMode
@@ -71,6 +81,9 @@ WARMUP_S = 12.0
 _PROFILE_SEED = 7919
 _LOSS_SEED = 104_729
 _JITTER_SEED = 1_299_709
+#: Seed offset of a competing workload VCA call (mirrors the legacy
+#: competition harness, whose second call always ran on ``seed + 500``).
+_WORKLOAD_SEED = 500
 #: Seed offsets of the per-trunk stochastic roles (cascade scenarios).  Each
 #: directed trunk adds its index on top, so two trunks of one run never share
 #: an impairment RNG stream with each other or with the access link.
@@ -84,6 +97,16 @@ TRACES_DIR = Path(__file__).resolve().parents[3] / "traces"
 
 #: Relative change of the target bitrate that counts as a switch.
 RATE_SWITCH_THRESHOLD = 0.10
+
+#: Host names of the compiled workload axis: the competing client homed
+#: behind the measured access link, its remote call peer, and its server.
+WORKLOAD_CLIENT = "F1"
+WORKLOAD_PEER = "F2"
+WORKLOAD_SERVER = "S2"
+
+#: Recognised workload kinds ("none" normalises to no workload at all).
+_WORKLOAD_KINDS = ("vca", "tcp_bulk", "streaming")
+_STREAMING_APPS = ("netflix", "youtube")
 
 
 @dataclass(frozen=True)
@@ -110,6 +133,19 @@ class ScenarioSpec:
       direction of each trunk as listed, ``"both"`` -- the default -- both).
       The measured client C1 is homed in region 0; trunk impairments get
       their own RNG seed streams per directed trunk.
+    * ``workload``: cross-traffic sharing the measured client's access link.
+      ``("vca", {"app": "teams", "participants": 2, "view_mode":
+      "gallery"})`` runs a second, independent call (client ``F1`` next to
+      C1, peer ``F2`` and server ``S2`` clean and remote, call RNG seeded at
+      ``seed + 500``); ``("tcp_bulk", {"flows": 1, "direction": "down"})``
+      runs long-lived iPerf3-style TCP CUBIC flows between ``F1`` and
+      ``S2``; ``("streaming", {"app": "netflix" | "youtube"})`` runs an ABR
+      player at ``F1``.  All three accept ``start_offset_s`` (seconds after
+      the measured call joins; default ``0.0``) and ``duration_s`` (default:
+      until the call ends).  ``("none", {})`` -- the default -- normalises
+      to ``workload=None``: no extra hosts, wiring byte-identical to a
+      workload-free run.  With a workload present, :meth:`ScenarioRun.metrics`
+      grows share / competitor-throughput / tx-loss columns.
     """
 
     name: str
@@ -124,6 +160,7 @@ class ScenarioSpec:
     jitter: Optional[tuple[str, Mapping[str, Any]]] = None
     aqm: Optional[tuple[str, Mapping[str, Any]]] = None
     cascade: Optional[tuple[str, Mapping[str, Any]]] = None
+    workload: Optional[tuple[str, Mapping[str, Any]]] = None
     duration_s: float = 120.0
     tags: tuple[str, ...] = ()
 
@@ -152,6 +189,33 @@ class ScenarioSpec:
             object.__setattr__(self, "cascade", (kind, params))
             # The cascade axis is the source of truth for the call size.
             object.__setattr__(self, "participants", sum(_cascade_region_sizes(self)))
+        if self.workload is not None:
+            kind, params = self.workload
+            if kind == "none":
+                if params:
+                    raise ValueError('workload ("none", ...) takes no params')
+                # Normalise to the no-workload representation so cache
+                # payloads (and the compiled topology) cannot fork on two
+                # spellings of "no cross-traffic".
+                object.__setattr__(self, "workload", None)
+            else:
+                if kind not in _WORKLOAD_KINDS:
+                    raise ValueError(
+                        f"workload kind must be one of {('none',) + _WORKLOAD_KINDS}, got {kind!r}"
+                    )
+                params = dict(params)
+                if kind == "tcp_bulk":
+                    if int(params.get("flows", 1)) < 1:
+                        raise ValueError("tcp_bulk workload needs at least one flow")
+                    if str(params.get("direction", "down")) not in ("up", "down"):
+                        raise ValueError("tcp_bulk workload direction must be up/down")
+                if kind == "streaming" and str(params.get("app", "netflix")) not in _STREAMING_APPS:
+                    raise ValueError(
+                        f"streaming workload app must be one of {_STREAMING_APPS}"
+                    )
+                if float(params.get("start_offset_s", 0.0)) < 0.0:
+                    raise ValueError("workload start_offset_s must be >= 0")
+                object.__setattr__(self, "workload", (kind, params))
 
     @property
     def directions(self) -> tuple[str, ...]:
@@ -344,6 +408,13 @@ class ScenarioRun:
     queue_delay_samples: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
     #: Compiled cascade plan (None for classic single-server scenarios).
     plan: Optional[CascadePlan] = None
+    #: Workload window bounds (None when the spec carries no workload).
+    workload_start_s: Optional[float] = None
+    workload_end_s: Optional[float] = None
+    #: Compiled workload applications (IperfFlow / NetflixPlayer / ...).
+    workload_apps: tuple = ()
+    #: The competing call of a ("vca", ...) workload.
+    workload_call: Optional[Call] = None
 
     def steady_window(self) -> tuple[float, float]:
         start = self.start_s + WARMUP_S
@@ -356,6 +427,55 @@ class ScenarioRun:
             self.topology.uplink if direction == "up" else self.topology.downlink
             for direction in self.spec.directions
         ]
+
+    def workload_window(self) -> tuple[float, float]:
+        """The steady competition window of a workload run.
+
+        Starts ``min(10 s, a third of the workload)`` after the workload does
+        (the legacy harness's flat 10 s lead-in, capped so reduced-duration
+        runs keep a non-empty window) and ends when the workload stops.
+        """
+        if self.workload_start_s is None or self.workload_end_s is None:
+            raise ValueError("scenario has no workload; no competition window")
+        duration = self.workload_end_s - self.workload_start_s
+        lead_in = min(10.0, duration / 3.0)
+        return (self.workload_start_s + lead_in, self.workload_end_s)
+
+    def share(self, direction: str = "up") -> float:
+        """Measured call's share of the access link against its workload.
+
+        The incumbent (C1) and competitor (F1) bitrates are averaged over
+        :meth:`workload_window`; ``direction="up"`` compares transmitted
+        bytes, ``"down"`` received bytes.
+        """
+        tx_rx = "tx" if direction == "up" else "rx"
+        window = self.workload_window()
+        incumbent = self.capture.aggregate("C1", tx_rx).mean_mbps(*window)
+        competitor = self.capture.aggregate(WORKLOAD_CLIENT, tx_rx).mean_mbps(*window)
+        return link_share(np.array([incumbent]), np.array([competitor]))
+
+    def relay_tx_loss(self, server: str, client: str, call_id: str) -> float:
+        """Tx-side loss of a relay's forwarded media toward ``client``.
+
+        Compares the media bytes ``server`` transmitted for ``client``
+        (flow ids ``{call_id}:down:...>{client}``) against the bytes that
+        arrived, over :meth:`workload_window`.  Requires the run to have
+        captured the server host (workload runs always do).
+        """
+        window = self.workload_window()
+        prefix = f"{call_id}:down:"
+        suffix = f">{client}"
+        sent = sum(
+            series.total_bytes(*window)
+            for series in self.capture.flows_at(server, "tx")
+            if series.flow_id.startswith(prefix) and series.flow_id.endswith(suffix)
+        )
+        received = sum(
+            series.total_bytes(*window)
+            for series in self.capture.flows_at(client, "rx")
+            if series.flow_id.startswith(prefix) and series.flow_id.endswith(suffix)
+        )
+        return tx_loss_rate(sent, received)
 
     def rate_switches(self) -> int:
         """Target-bitrate switches of the measured client's encoder.
@@ -385,7 +505,11 @@ class ScenarioRun:
 
         Bitrate/fps metrics cover the steady window (warmup excluded);
         loss/drop counters and the queue-delay percentiles are whole-run
-        totals of the shaped link(s), startup transient included.
+        totals of the shaped link(s), startup transient included.  Workload
+        runs additionally report the competition columns (``share_up`` /
+        ``share_down``, competitor throughput over the workload window, and
+        the relay tx-loss rates the fig10 analysis needs); workload-free
+        payloads are unchanged.
         """
         window = self.steady_window()
         up = self.capture.aggregate("C1", "tx")
@@ -429,6 +553,30 @@ class ScenarioRun:
         }
         if self.plan is not None:
             payload.update(self._cascade_metrics(duration))
+        if self.workload_start_s is not None:
+            payload.update(self._workload_metrics())
+        return payload
+
+    def _workload_metrics(self) -> dict[str, float]:
+        """Competition columns of a workload run (see :meth:`metrics`)."""
+        assert self.spec.workload is not None
+        window = self.workload_window()
+        competitor_tx = self.capture.aggregate(WORKLOAD_CLIENT, "tx")
+        competitor_rx = self.capture.aggregate(WORKLOAD_CLIENT, "rx")
+        payload = {
+            "share_up": self.share("up"),
+            "share_down": self.share("down"),
+            "competitor_up_mbps": competitor_tx.mean_mbps(*window),
+            "competitor_down_mbps": competitor_rx.mean_mbps(*window),
+        }
+        if self.plan is None:
+            payload["incumbent_tx_loss_rate"] = self.relay_tx_loss(
+                "S", "C1", self.call.config.call_id
+            )
+        if self.spec.workload[0] == "vca":
+            payload["competitor_tx_loss_rate"] = self.relay_tx_loss(
+                WORKLOAD_SERVER, WORKLOAD_CLIENT, "competitor"
+            )
         return payload
 
     def _freeze_ratio_of(self, client_name: str, duration: float) -> float:
@@ -533,11 +681,24 @@ def run_scenario(
     collect_stats: bool = True,
     queue_sample_interval_s: float = 0.1,
 ) -> ScenarioRun:
-    """Realise one scenario: build, impair, run, and return the handle."""
+    """Realise one scenario: build, impair, run, and return the handle.
+
+    A ``workload`` component compiles onto the same topology: the competing
+    client ``F1`` is homed behind the measured client's shaped access link,
+    its counterparties (``F2`` for a VCA workload, the server ``S2``) are
+    clean and remote, and the workload's hosts plus the relevant servers are
+    packet-captured so the competition metrics can be computed.  Without a
+    workload the build is byte-identical to the pre-workload layout.
+    """
     duration = float(duration_s) if duration_s is not None else spec.duration_s
     sim = Simulator(seed=seed)
     names = [f"C{i}" for i in range(1, spec.participants + 1)]
     horizon = CALL_START_S + duration + 5.0
+
+    workload = spec.workload
+    local_names = (WORKLOAD_CLIENT,) if workload is not None else ()
+    remote_names = (WORKLOAD_PEER,) if workload is not None and workload[0] == "vca" else ()
+    server_extras = (WORKLOAD_SERVER,) if workload is not None else ()
 
     plan: Optional[CascadePlan] = None
     topo: Union[AccessTopology, CascadeTopology]
@@ -548,9 +709,17 @@ def run_scenario(
             sim,
             plan,
             trunk_delay_s=float(trunk_params.get("delay_s", DEFAULT_TRUNK_DELAY_S)),
+            local_client_names=local_names,
+            extra_client_names=remote_names,
+            extra_server_names=server_extras,
         )
     else:
-        topo = build_access_topology(sim, client_names=names)
+        topo = build_access_topology(
+            sim,
+            client_names=[*names, *remote_names],
+            extra_server_names=server_extras,
+            local_client_names=local_names,
+        )
 
     profiles: dict[str, BandwidthProfile] = {}
     for offset, direction in enumerate(spec.directions):
@@ -572,6 +741,13 @@ def run_scenario(
 
     capture = PacketCapture(sim)
     capture.attach(topo.host("C1"))
+    if workload is not None:
+        # The competing client and the relevant relays: taps are passive, so
+        # the extra captures never perturb the run.
+        capture.attach(topo.host(WORKLOAD_CLIENT))
+        capture.attach(topo.host(WORKLOAD_SERVER))
+        if plan is None:
+            capture.attach(topo.host("S"))
 
     view_mode = ViewMode.SPEAKER if spec.view_mode == "speaker" else ViewMode.GALLERY
     call = Call(
@@ -587,6 +763,70 @@ def run_scenario(
     orchestrator = CallOrchestrator(sim)
     end_s = CALL_START_S + duration
     orchestrator.run_call(call, start=CALL_START_S, duration=duration)
+
+    workload_start: Optional[float] = None
+    workload_end: Optional[float] = None
+    workload_apps: list = []
+    workload_call: Optional[Call] = None
+    if workload is not None:
+        kind, params = workload
+        workload_start = CALL_START_S + float(params.get("start_offset_s", 0.0))
+        wl_duration = params.get("duration_s")
+        workload_end = (
+            end_s if wl_duration is None else min(workload_start + float(wl_duration), end_s)
+        )
+        if workload_end <= workload_start:
+            raise ValueError(
+                f"workload window is empty: starts at {workload_start:.1f}s, "
+                f"call ends at {end_s:.1f}s"
+            )
+        if kind == "vca":
+            workload_call = Call(
+                sim,
+                [topo.host(WORKLOAD_CLIENT), topo.host(WORKLOAD_PEER)],
+                topo.host(WORKLOAD_SERVER),
+                CallConfig(
+                    vca=str(params.get("app", "zoom")),
+                    call_id="competitor",
+                    seed=seed + _WORKLOAD_SEED,
+                    view_mode=(
+                        ViewMode.SPEAKER
+                        if str(params.get("view_mode", "gallery")) == "speaker"
+                        else ViewMode.GALLERY
+                    ),
+                    collect_stats=False,
+                ),
+            )
+            orchestrator.run_call(
+                workload_call, start=workload_start, duration=workload_end - workload_start
+            )
+        elif kind == "tcp_bulk":
+            flows = int(params.get("flows", 1))
+            tcp_direction = str(params.get("direction", "down"))
+            for index in range(flows):
+                app = IperfFlow(
+                    sim,
+                    client=topo.host(WORKLOAD_CLIENT),
+                    server=topo.host(WORKLOAD_SERVER),
+                    direction=tcp_direction,
+                    flow_id=(
+                        f"iperf-{WORKLOAD_CLIENT}-{tcp_direction}-{index}" if flows > 1 else None
+                    ),
+                )
+                workload_apps.append(app)
+                orchestrator.run_competitor(
+                    app, start=workload_start, duration=workload_end - workload_start
+                )
+        else:  # streaming
+            app_name = str(params.get("app", "netflix"))
+            player_cls = NetflixPlayer if app_name == "netflix" else YouTubePlayer
+            app = player_cls(
+                sim, client=topo.host(WORKLOAD_CLIENT), server=topo.host(WORKLOAD_SERVER)
+            )
+            workload_apps.append(app)
+            orchestrator.run_competitor(
+                app, start=workload_start, duration=workload_end - workload_start
+            )
 
     queue_samples: dict[str, list[tuple[float, float]]] = {
         direction: [] for direction in spec.directions
@@ -609,6 +849,10 @@ def run_scenario(
         end_s=end_s,
         queue_delay_samples=queue_samples,
         plan=plan,
+        workload_start_s=workload_start,
+        workload_end_s=workload_end,
+        workload_apps=tuple(workload_apps),
+        workload_call=workload_call,
     )
 
 
@@ -832,6 +1076,45 @@ def _register_builtin_packs() -> None:
         }),
         tags=cascade,
     ))
+    # Competition pack: the paper's Section 5 cross-traffic cells expressed
+    # through the workload axis.  Workloads start with the call and run to
+    # its end (no start offset), so the pack composes with any --duration --
+    # the CI smoke runs it at 10 s, the recorded targets at 10 s and 45 s.
+    competition = ("competition",)
+    register_scenario(ScenarioSpec(
+        name="competition/teams-vs-zoom-droptail",
+        description="Teams (measured) vs a competing Zoom call on a 0.5 Mbps "
+                    "drop-tail access link (the Fig 10b calibration cell)",
+        vca="teams", direction="both", profile=("constant", {"mbps": 0.5}),
+        workload=("vca", {"app": "zoom"}),
+        tags=competition,
+    ))
+    register_scenario(ScenarioSpec(
+        name="competition/zoom-vs-tcp-codel",
+        description="Zoom (measured) vs one bulk TCP download on a 2 Mbps "
+                    "downlink policed by CoDel",
+        vca="zoom", direction="down", profile=("constant", {"mbps": 2.0}),
+        aqm=("codel", {}),
+        workload=("tcp_bulk", {"flows": 1, "direction": "down"}),
+        tags=competition,
+    ))
+    register_scenario(ScenarioSpec(
+        name="competition/zoom-vs-tcp-droptail",
+        description="Zoom (measured) vs one bulk TCP download on a 2 Mbps "
+                    "drop-tail downlink (control for competition/zoom-vs-tcp-codel)",
+        vca="zoom", direction="down", profile=("constant", {"mbps": 2.0}),
+        workload=("tcp_bulk", {"flows": 1, "direction": "down"}),
+        tags=competition + ("control",),
+    ))
+    register_scenario(ScenarioSpec(
+        name="competition/netflix-vs-zoom-lte",
+        description="Zoom (measured) vs a Netflix ABR player on a synthetic "
+                    "LTE downlink (mean 2.5 Mbps) -- Fig 14 meets netem",
+        vca="zoom", direction="down", profile=("lte", {"mean_mbps": 2.5}),
+        workload=("streaming", {"app": "netflix"}),
+        tags=competition,
+    ))
+
     register_scenario(ScenarioSpec(
         name="cascade/lossy-trunk-far-freeze-zoom",
         description="Two-region Zoom cascade with bursty loss on the forward "

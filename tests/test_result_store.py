@@ -24,6 +24,7 @@ from repro.core.campaign import Condition, run_campaign
 from repro.experiments.registry import run_experiment
 from repro.experiments.scenario import (
     SWEEP_METRICS,
+    WORKLOAD_SWEEP_METRICS,
     registry_manifest,
     run_scenario_sweep,
     scenario_cache_payload,
@@ -46,7 +47,12 @@ def _dispatch_log(monkeypatch) -> list[tuple[str, int]]:
     def fake_run(name: str, seed: int = 0, duration_s: float | None = None) -> dict[str, float]:
         calls.append((name, seed))
         base = float(len(name)) + seed
-        metrics = (*SWEEP_METRICS, "mean_queue_delay_s", "cascade_freeze_gap")
+        metrics = (
+            *SWEEP_METRICS,
+            *WORKLOAD_SWEEP_METRICS,
+            "mean_queue_delay_s",
+            "cascade_freeze_gap",
+        )
         return {metric: base + index for index, metric in enumerate(metrics)}
 
     monkeypatch.setattr(scenario_mod, "run_scenario_by_name", fake_run)
@@ -348,6 +354,9 @@ class TestScenarioTargets:
         # metrics; sparse payloads exercise the formula's renormalization.
         "barometer/dsl-2p-meet": {"mean_received_fps": 24.0, "freeze_ratio": 0.0},
         "barometer/constrained-lte-5p-meet": {"mean_received_fps": 4.0, "freeze_ratio": 0.5},
+        "competition/teams-vs-zoom-droptail": {"share_down": 0.35},
+        "competition/zoom-vs-tcp-codel": {"share_down": 0.45},
+        "competition/zoom-vs-tcp-droptail": {"share_down": 0.40, "share_up": 0.95},
     }
 
     def test_committed_targets_reference_registered_scenarios(self):
@@ -367,6 +376,17 @@ class TestScenarioTargets:
         assert margins["barometer-constrained-lte-5p-below-dsl-2p"] == pytest.approx(
             -0.10 - (0.0 - 1.0)
         )
+        # The teams-vs-zoom share band scores both sides of one metric.
+        assert margins["competition-teams-vs-zoom-down-share-ceiling"] == pytest.approx(
+            0.60 - 0.35
+        )
+        assert margins["competition-teams-vs-zoom-down-share-floor"] == pytest.approx(
+            0.35 - 0.15
+        )
+        assert margins["competition-codel-vs-droptail-vca-share"] == pytest.approx(
+            (0.45 - 0.40) - 0.0
+        )
+        assert margins["competition-zoom-holds-uplink-vs-tcp"] == pytest.approx(0.95 - 0.80)
         assert all(m > 0 for m in margins.values())
 
     def test_margin_flips_when_behaviour_regresses(self):
